@@ -1,0 +1,207 @@
+// Command lwfsbench regenerates every table and figure of the paper's
+// evaluation on the simulated cluster:
+//
+//	lwfsbench -experiment fig9              # Figure 9, all three panels
+//	lwfsbench -experiment fig10             # Figure 10 a/b/c
+//	lwfsbench -experiment table1            # Table 1
+//	lwfsbench -experiment table2            # Table 2 params vs measurement
+//	lwfsbench -experiment petaflop          # §4 scaling projection
+//	lwfsbench -experiment security          # §3.1 protocol microbenchmarks
+//	lwfsbench -experiment all
+//
+// -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
+// fast smoke run; the defaults reproduce the paper's parameters (512
+// MB/process, ≥5 trials, 2–16 servers, up to 64 clients).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lwfs/internal/figures"
+	"lwfs/internal/stats"
+)
+
+// renameSeries relabels a series for combined panels.
+func renameSeries(s stats.Series, name string) stats.Series {
+	s.Name = name
+	return s
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|all")
+		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
+		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
+		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
+		clients    = flag.String("clients", "", "comma-separated client counts (default 1,2,4,8,16,32,48,64)")
+		bytesMB    = flag.Int64("mb-per-proc", 0, "MB written per process (0 = paper's 512)")
+		verbose    = flag.Bool("v", false, "progress output to stderr")
+		plot       = flag.Bool("plot", false, "render ASCII plots of the figure shapes")
+	)
+	flag.Parse()
+
+	progress := func(format string, args ...interface{}) {}
+	if *verbose {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	f9 := figures.Fig9Opts{Trials: *trials, Progress: progress}
+	f10 := figures.Fig10Opts{Trials: *trials, Progress: progress}
+	if *quick {
+		f9.Servers = []int{2, 8, 16}
+		f9.Clients = []int{1, 4, 16, 48}
+		f9.Trials = 2
+		f9.BytesPerProc = 64 << 20
+		f10.Servers = f9.Servers
+		f10.Clients = f9.Clients
+		f10.Trials = 2
+	}
+	if *servers != "" {
+		f9.Servers = parseInts(*servers)
+		f10.Servers = f9.Servers
+	}
+	if *clients != "" {
+		f9.Clients = parseInts(*clients)
+		f10.Clients = f9.Clients
+	}
+	if *bytesMB != 0 {
+		f9.BytesPerProc = *bytesMB << 20
+	}
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "lwfsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		figures.Table1Render(os.Stdout)
+		return nil
+	})
+
+	run("table2", func() error {
+		res, err := figures.Table2()
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return nil
+	})
+
+	run("fig9", func() error {
+		for _, im := range []figures.Impl{figures.ImplPFSFile, figures.ImplPFSShared, figures.ImplLWFS} {
+			res, err := figures.Fig9(im, f9)
+			if err != nil {
+				return err
+			}
+			figures.RenderSeries(os.Stdout,
+				fmt.Sprintf("Figure 9: checkpoint throughput, %s", im),
+				"clients", "MB/s", res.Series)
+			if *plot {
+				fmt.Println()
+				stats.AsciiPlot(os.Stdout, fmt.Sprintf("Figure 9 (%s)", im), "clients", "MB/s", res.Series, false)
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+
+	run("fig10", func() error {
+		lustre, err := figures.Fig10("lustre", f10)
+		if err != nil {
+			return err
+		}
+		lwfs, err := figures.Fig10("lwfs", f10)
+		if err != nil {
+			return err
+		}
+		// Panel (a): the largest-server-count series of both systems.
+		last := len(lustre.Series) - 1
+		figures.RenderSeries(os.Stdout,
+			"Figure 10a: LWFS object creation vs Lustre file creation (log scale in the paper)",
+			"clients", "ops/s",
+			[]stats.Series{renameSeries(lustre.Series[last], "Lustre"), renameSeries(lwfs.Series[last], "LWFS")})
+		fmt.Println()
+		figures.RenderSeries(os.Stdout, "Figure 10b: Lustre file creation", "clients", "ops/s", lustre.Series)
+		fmt.Println()
+		figures.RenderSeries(os.Stdout, "Figure 10c: LWFS object creation", "clients", "ops/s", lwfs.Series)
+		if *plot {
+			fmt.Println()
+			stats.AsciiPlot(os.Stdout, "Figure 10a (log y)", "clients", "ops/s",
+				[]stats.Series{renameSeries(lustre.Series[last], "Lustre"), renameSeries(lwfs.Series[last], "LWFS")}, true)
+		}
+		return nil
+	})
+
+	run("petaflop", func() error {
+		pr, err := figures.PetaflopProjection(400 << 20)
+		if err != nil {
+			return err
+		}
+		pr.Render(os.Stdout)
+		return nil
+	})
+
+	run("security", func() error {
+		res, err := figures.Security()
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return nil
+	})
+
+	run("filtering", func() error {
+		fmt.Println("# Remote filtering (§6): 1 GiB sharded over 8 servers")
+		ft, err := figures.ActiveStorageScan(true)
+		if err != nil {
+			return err
+		}
+		rt, err := figures.ActiveStorageScan(false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server-side filters  %v\nread-everything      %v\nspeedup              %.1fx\n",
+			ft, rt, rt.Seconds()/ft.Seconds())
+		return nil
+	})
+
+	run("collective", func() error {
+		fmt.Println("# Collective I/O (§6): 8 ranks, 512 interleaved 64 KiB records")
+		ct, err := figures.CollectiveVsIndependent(true)
+		if err != nil {
+			return err
+		}
+		it, err := figures.CollectiveVsIndependent(false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("two-phase collective  %v\nindependent writes    %v\nspeedup               %.1fx\n",
+			ct, it, it.Seconds()/ct.Seconds())
+		return nil
+	})
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lwfsbench: bad int %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Command lwfsckpt runs a single checkpoint configuration through one of
+// the three §4 implementations and prints the phase breakdown, either
+// human-readable or as CSV for scripting.
+//
+//	lwfsckpt -impl lwfs -procs 64 -mb 512 -servers 16
+//	lwfsckpt -impl shared -procs 64 -csv
+//	lwfsckpt -impl fpp -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"lwfs/internal/checkpoint"
+	"lwfs/internal/cluster"
+	"lwfs/internal/stats"
+)
+
+func main() {
+	impl := flag.String("impl", "lwfs", "lwfs|fpp|shared")
+	procs := flag.Int("procs", 64, "client processes")
+	mb := flag.Int64("mb", 512, "MB per process")
+	servers := flag.Int("servers", 16, "storage servers")
+	trials := flag.Int("trials", 1, "trials (mean/stddev reported)")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Parse()
+
+	run := map[string]func(cluster.Spec, checkpoint.Config) (checkpoint.Result, error){
+		"lwfs":   checkpoint.RunLWFS,
+		"fpp":    checkpoint.RunPFSFilePerProcess,
+		"shared": checkpoint.RunPFSShared,
+	}[*impl]
+	if run == nil {
+		log.Fatalf("lwfsckpt: unknown -impl %q", *impl)
+	}
+
+	spec := cluster.DevCluster().WithServers(*servers)
+	var tput, create, write, syncT, closeT, total stats.Sample
+	for trial := 0; trial < *trials; trial++ {
+		res, err := run(spec, checkpoint.Config{
+			Procs:        *procs,
+			BytesPerProc: *mb << 20,
+			Seed:         int64(trial) * 31337,
+		})
+		if err != nil {
+			log.Fatalf("lwfsckpt: %v", err)
+		}
+		tput.Add(res.ThroughputMBs())
+		create.Add(res.MaxTimes.Create.Seconds() * 1e3)
+		write.Add(res.MaxTimes.Write.Seconds() * 1e3)
+		syncT.Add(res.MaxTimes.Sync.Seconds() * 1e3)
+		closeT.Add(res.MaxTimes.Close.Seconds() * 1e3)
+		total.Add(res.Elapsed.Seconds() * 1e3)
+	}
+
+	if *csv {
+		fmt.Println("impl,procs,mb_per_proc,servers,trials,throughput_mbs,throughput_sd,create_ms,write_ms,sync_ms,close_ms,total_ms")
+		fmt.Printf("%s,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			*impl, *procs, *mb, *servers, *trials,
+			tput.Mean(), tput.StdDev(), create.Mean(), write.Mean(), syncT.Mean(), closeT.Mean(), total.Mean())
+		return
+	}
+	fmt.Printf("checkpoint %s: %d procs x %d MB, %d servers, %d trial(s)\n",
+		*impl, *procs, *mb, *servers, *trials)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "throughput\t%s MB/s\n", tput.String())
+	fmt.Fprintf(tw, "create/open (max over procs)\t%.1f ms\n", create.Mean())
+	fmt.Fprintf(tw, "write\t%.1f ms\n", write.Mean())
+	fmt.Fprintf(tw, "sync\t%.1f ms\n", syncT.Mean())
+	fmt.Fprintf(tw, "close/commit\t%.1f ms\n", closeT.Mean())
+	fmt.Fprintf(tw, "total (max over procs)\t%.1f ms\n", total.Mean())
+	tw.Flush()
+}

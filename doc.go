@@ -1,0 +1,61 @@
+// Package lwfs is a faithful, simulation-backed implementation of the
+// Lightweight File System (LWFS) described in "Lightweight I/O for
+// Scientific Applications" (Oldfield et al., Sandia report SAND2006-3057 /
+// IEEE CLUSTER 2006).
+//
+// # What LWFS is
+//
+// LWFS applies the lightweight-kernel philosophy (Catamount, CNK) to I/O:
+// the fixed core provides only what every I/O system needs — scalable
+// authentication and authorization (credentials and container-grained
+// capabilities with cache-and-revoke semantics), server-directed bulk data
+// movement over one-sided messaging, direct object-based storage access,
+// and distributed-transaction mechanisms (journals, two-phase commit,
+// locks). Everything else — naming, data distribution, caching,
+// consistency — is client-side library policy.
+//
+// # What this module contains
+//
+// The LWFS protocol stack is implemented in full and runs over a
+// deterministic discrete-event simulation of a partitioned MPP (compute
+// nodes, I/O nodes, admin node; Portals-style NICs; FIFO disks), so a
+// laptop reproduces the paper's cluster experiments exactly and
+// deterministically:
+//
+//   - internal/sim, internal/netsim, internal/portals — the substrate:
+//     event kernel, network contention model, one-sided messaging.
+//   - internal/authn, internal/authz — credentials, capabilities,
+//     verification caching, back-pointer revocation (paper §3.1).
+//   - internal/osd, internal/storage — object-based storage devices and
+//     the server-directed storage service (§3.2–3.3, Figures 6–7).
+//   - internal/naming, internal/txn — namespace service, journals,
+//     two-phase commit, lock service (§3.4).
+//   - internal/core — the client library (GETCREDS/GETCAPS/CREATEOBJ/...,
+//     Figure 4 protocols, the Figure 4a capability scatter).
+//   - internal/pfs — the Lustre-shaped baseline: centralized MDS, striped
+//     OSTs, extent-lock DLM (the §4 comparison points).
+//   - internal/checkpoint, internal/figures — the §4 case study and the
+//     harness that regenerates every table and figure.
+//   - internal/lwfspfs — §6 future work: a POSIX-style file system built
+//     as a client library over the LWFS core.
+//
+// This package is the facade: thin aliases and constructors so downstream
+// code can build systems and clients without spelling internal import
+// paths. See the runnable programs under examples/ and the experiment
+// driver cmd/lwfsbench.
+//
+// # Quick start
+//
+//	cl := lwfs.NewCluster(lwfs.DevCluster())
+//	cl.RegisterUser("app", "secret")
+//	sys := cl.DeployLWFS()
+//	client := cl.NewClient(sys, 0)
+//	cl.Spawn("app", func(p *lwfs.Proc) {
+//	    client.Login(p, "app", "secret")
+//	    cid, _ := client.CreateContainer(p)
+//	    caps, _ := client.GetCaps(p, cid, lwfs.OpCreate, lwfs.OpWrite, lwfs.OpRead)
+//	    ref, _ := client.CreateObject(p, client.Server(0), caps)
+//	    client.Write(p, ref, caps, 0, lwfs.Bytes([]byte("hello")))
+//	})
+//	cl.Run()
+package lwfs

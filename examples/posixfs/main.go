@@ -1,0 +1,106 @@
+// Posixfs: the paper's §6 future work running today — a POSIX-style
+// parallel file system implemented entirely as a *client library*
+// (internal/lwfspfs) over the unmodified LWFS core: naming service for the
+// namespace, striped objects for data, the lock service for write
+// atomicity, and a distributed transaction wrapping every file create.
+//
+//	go run ./examples/posixfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lwfs"
+	"lwfs/internal/lwfspfs"
+	"lwfs/internal/sim"
+)
+
+func main() {
+	spec := lwfs.DevCluster()
+	spec.ComputeNodes = 2
+	spec = spec.WithServers(4)
+	cl := lwfs.NewCluster(spec)
+	cl.RegisterUser("alice", "pa")
+	cl.RegisterUser("bob", "pb")
+	sys := cl.DeployLWFS()
+	alice := cl.NewClient(sys, 0)
+	bob := cl.NewClient(sys, 1)
+
+	share := sim.NewMailbox(cl.K, "share")
+
+	cl.Spawn("alice", func(p *lwfs.Proc) {
+		if err := alice.Login(p, "alice", "pa"); err != nil {
+			log.Fatal(err)
+		}
+		fs, err := lwfspfs.Format(p, alice, "/home", lwfspfs.Options{StripeUnit: 256 << 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alice: formatted /home (container %d, 256 KiB stripes over %d servers)\n",
+			fs.Container(), len(alice.Servers()))
+
+		if err := fs.Mkdir(p, "/results"); err != nil {
+			log.Fatal(err)
+		}
+		f, err := fs.Create(p, "/results/run-001.dat")
+		if err != nil {
+			log.Fatal(err)
+		}
+		report := []byte("energy=-1.284e3 hartree; converged in 214 iterations")
+		if _, err := f.WriteAt(p, 0, lwfs.Bytes(report)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Sync(p); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alice: wrote %d bytes to /results/run-001.dat (created transactionally)\n", len(report))
+
+		// Grant bob read access; the container ID travels out of band,
+		// like a capability.
+		for _, op := range []lwfs.Op{lwfs.OpRead, lwfs.OpList} {
+			if err := alice.SetACL(p, fs.Container(), op, "bob", true); err != nil {
+				log.Fatal(err)
+			}
+		}
+		share.Send(fs.Container())
+	})
+
+	cl.Spawn("bob", func(p *lwfs.Proc) {
+		cid := share.Recv(p).(lwfs.ContainerID)
+		if err := bob.Login(p, "bob", "pb"); err != nil {
+			log.Fatal(err)
+		}
+		fs, err := lwfspfs.MountReadOnly(p, bob, "/home", cid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names, err := fs.List(p, "/results")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bob:   ls /results -> %v\n", names)
+		f, err := fs.Open(p, "/results/run-001.dat")
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := f.ReadAt(p, 0, f.Size())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bob:   read %q\n", got.Data)
+		if _, err := f.WriteAt(p, 0, lwfs.Bytes([]byte("vandalism"))); err != nil {
+			fmt.Printf("bob:   write refused on read-only mount: capability enforcement held\n")
+		} else {
+			log.Fatal("bob wrote through a read-only mount")
+		}
+	})
+
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe POSIX layer is ~500 lines of library code; the LWFS core is untouched (§6).")
+}

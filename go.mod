@@ -1,0 +1,3 @@
+module lwfs
+
+go 1.23

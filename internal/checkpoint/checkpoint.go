@@ -1,0 +1,260 @@
+// Package checkpoint implements the paper's case study (§4): checkpointing
+// the state of an n-process application to stable storage, three ways:
+//
+//   - LWFS, one object per process — the Figure 8 pseudocode: a distributed
+//     transaction wrapping parallel object creates, server-directed dumps,
+//     a metadata gather to rank 0, and one naming-service entry.
+//   - Traditional PFS, one file per process — bandwidth scales but every
+//     create funnels through the centralized metadata server.
+//   - Traditional PFS, one shared file — non-overlapping writes that the
+//     file system's consistency machinery nevertheless serializes.
+//
+// Each implementation reports, per process, the time to open/create, write,
+// sync and close its state, and the run reports the maximum across
+// processes (the application can't resume computing until the slowest
+// process finishes), exactly as the paper measures.
+package checkpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/cluster"
+	"lwfs/internal/core"
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/txn"
+)
+
+// Config parameterizes one checkpoint run.
+type Config struct {
+	Procs        int
+	BytesPerProc int64
+	Seed         int64 // start-time jitter and placement variation per trial
+	// JitterMax bounds the per-process start jitter (default 1ms).
+	JitterMax time.Duration
+}
+
+func (c Config) jitter() time.Duration {
+	if c.JitterMax == 0 {
+		return time.Millisecond
+	}
+	return c.JitterMax
+}
+
+// ProcTimes is one process's phase breakdown.
+type ProcTimes struct {
+	Create time.Duration // create/open the file or object
+	Write  time.Duration // dump state
+	Sync   time.Duration // make durable
+	Close  time.Duration // close / metadata+name+commit share
+	Total  time.Duration
+}
+
+// Result is one checkpoint run's outcome.
+type Result struct {
+	Procs    int
+	Bytes    int64         // total data across processes
+	Elapsed  time.Duration // max process total (the paper's metric)
+	MaxTimes ProcTimes     // max per phase across processes
+	Per      []ProcTimes
+}
+
+// ThroughputMBs reports the paper's Figure 9 metric: aggregate MB/s.
+func (r Result) ThroughputMBs() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / r.Elapsed.Seconds()
+}
+
+func maxd(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (r *Result) fold(t ProcTimes) {
+	r.Per = append(r.Per, t)
+	r.MaxTimes.Create = maxd(r.MaxTimes.Create, t.Create)
+	r.MaxTimes.Write = maxd(r.MaxTimes.Write, t.Write)
+	r.MaxTimes.Sync = maxd(r.MaxTimes.Sync, t.Sync)
+	r.MaxTimes.Close = maxd(r.MaxTimes.Close, t.Close)
+	r.Elapsed = maxd(r.Elapsed, t.Total)
+}
+
+// RunLWFS builds a fresh cluster from spec, deploys the LWFS-core and runs
+// one object-per-process checkpoint (Figure 8).
+func RunLWFS(spec cluster.Spec, cfg Config) (Result, error) {
+	cl := cluster.New(spec)
+	cl.RegisterUser("app", "s3cret")
+	l := cl.DeployLWFS()
+	res, err := SetupLWFS(cl, l, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cl.Run(); err != nil {
+		return Result{}, err
+	}
+	return *res, nil
+}
+
+// SetupLWFS schedules one object-per-process checkpoint on an existing
+// deployment (the caller drives cl.Run and may schedule more work, e.g. a
+// Restore pass). The user "app"/"s3cret" must be registered. The Result is
+// populated once the simulation has run.
+func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := Result{Procs: cfg.Procs, Bytes: int64(cfg.Procs) * cfg.BytesPerProc}
+	clients := make([]*core.Client, cfg.Procs)
+	for i := range clients {
+		clients[i] = cl.NewClient(l, i)
+	}
+	// Gather channel for the metadata phase (rank 0 collects ObjRefs).
+	gather := sim.NewMailbox(cl.K, "ckpt/gather")
+	done := sim.NewMailbox(cl.K, "ckpt/done")
+
+	// Rank 0: acquire credentials and capabilities once, scatter, then act
+	// as an ordinary writer plus the metadata/naming/commit tail.
+	placement := rng.Intn(1024) // rotate object placement per trial
+	jitters := make([]time.Duration, cfg.Procs)
+	for i := range jitters {
+		jitters[i] = time.Duration(rng.Int63n(int64(cfg.jitter())))
+	}
+
+	type share struct {
+		caps core.CapSet
+		tx   *txnHandle
+	}
+	shared := sim.NewMailbox(cl.K, "ckpt/share")
+
+	cl.K.Spawn("rank0", func(p *sim.Proc) {
+		c := clients[0]
+		if err := c.Login(p, "app", "s3cret"); err != nil {
+			panic(fmt.Sprintf("login: %v", err))
+		}
+		cid, err := c.CreateContainer(p)
+		if err != nil {
+			panic(fmt.Sprintf("container: %v", err))
+		}
+		caps, err := c.GetCaps(p, cid, authz.AllOps...)
+		if err != nil {
+			panic(fmt.Sprintf("getcaps: %v", err))
+		}
+		var peers []core.ProcAddr
+		for i := 1; i < cfg.Procs; i++ {
+			peers = append(peers, clients[i].Addr())
+		}
+		// One transaction for the whole checkpoint (BEGINTXN).
+		tx := c.BeginTxn()
+		h := &txnHandle{tx: tx}
+		for i := 1; i < cfg.Procs; i++ {
+			shared.Send(share{caps: caps, tx: h})
+		}
+		if len(peers) > 0 {
+			c.ScatterCaps(p, caps, peers)
+		}
+
+		start := p.Now()
+		p.Sleep(jitters[0])
+		t := dumpLWFS(p, c, caps, h, 0, placement, cfg)
+
+		// Metadata gather: collect every rank's ObjRef, write the metadata
+		// object, create the name, commit (the Figure 8 tail).
+		tailStart := p.Now()
+		refs := make([]storage.ObjRef, cfg.Procs)
+		refs[0] = t.ref
+		for i := 1; i < cfg.Procs; i++ {
+			m := gather.Recv(p).(gatherMsg)
+			refs[m.rank] = m.ref
+		}
+		mdRef, err := c.CreateObjectTxn(p, c.Server(placement), caps, tx)
+		if err != nil {
+			panic(fmt.Sprintf("md create: %v", err))
+		}
+		if _, err := c.Write(p, mdRef, caps, 0, netsim.BytesPayload(EncodeMetadata(refs, cfg.BytesPerProc))); err != nil {
+			panic(fmt.Sprintf("md write: %v", err))
+		}
+		if err := c.CreateName(p, "/ckpt-0001", mdRef, tx); err != nil {
+			panic(fmt.Sprintf("name: %v", err))
+		}
+		if err := tx.Commit(p); err != nil {
+			panic(fmt.Sprintf("commit: %v", err))
+		}
+		t.t.Close = p.Now().Sub(tailStart)
+		t.t.Total = p.Now().Sub(start)
+		res.fold(t.t)
+		done.Send(struct{}{})
+	})
+
+	for i := 1; i < cfg.Procs; i++ {
+		i := i
+		cl.K.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			c := clients[i]
+			sh := shared.Recv(p).(share)
+			if _, err := c.WaitCaps(p); err != nil {
+				panic(fmt.Sprintf("rank %d caps: %v", i, err))
+			}
+			start := p.Now()
+			p.Sleep(jitters[i])
+			t := dumpLWFS(p, c, sh.caps, sh.tx, i, placement, cfg)
+			gather.Send(gatherMsg{rank: i, ref: t.ref})
+			t.t.Total = p.Now().Sub(start)
+			res.fold(t.t)
+			done.Send(struct{}{})
+		})
+	}
+
+	cl.K.Spawn("drain", func(p *sim.Proc) {
+		for i := 0; i < cfg.Procs; i++ {
+			done.Recv(p)
+		}
+	})
+	return &res, nil
+}
+
+type gatherMsg struct {
+	rank int
+	ref  storage.ObjRef
+}
+
+// txnHandle shares one coordinator-side transaction between the job's
+// processes (they run in one address space here; a real MPI job would share
+// the txn ID the same way it shares the capability set).
+type txnHandle struct{ tx *txn.Txn }
+
+type dumpOut struct {
+	t   ProcTimes
+	ref storage.ObjRef
+}
+
+// dumpLWFS is one process's CHECKPOINT body: CREATEOBJ + DUMPSTATE + sync.
+func dumpLWFS(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
+	var out dumpOut
+	t0 := p.Now()
+	ref, err := c.CreateObjectTxn(p, c.Server(rank+placement), caps, h.tx)
+	if err != nil {
+		panic(fmt.Sprintf("rank %d create: %v", rank, err))
+	}
+	out.ref = ref
+	out.t.Create = p.Now().Sub(t0)
+
+	t1 := p.Now()
+	if _, err := c.Write(p, ref, caps, 0, netsim.SyntheticPayload(cfg.BytesPerProc)); err != nil {
+		panic(fmt.Sprintf("rank %d write: %v", rank, err))
+	}
+	out.t.Write = p.Now().Sub(t1)
+
+	t2 := p.Now()
+	if err := c.Sync(p, storage.TargetOf(ref), caps); err != nil {
+		panic(fmt.Sprintf("rank %d sync: %v", rank, err))
+	}
+	out.t.Sync = p.Now().Sub(t2)
+	out.t.Total = p.Now().Sub(t0)
+	return out
+}

@@ -1,0 +1,106 @@
+package checkpoint
+
+import (
+	"fmt"
+	"strings"
+
+	"lwfs/internal/core"
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+)
+
+// The checkpoint metadata object is the dataset's self-description: one
+// line per rank naming the object that holds its state. Restart needs
+// nothing else — resolve the checkpoint name, read this object, then read
+// each rank's state in parallel (§4: the naming service exists "to
+// reference the checkpoint data when the application needs to reconstruct
+// the process on a restart").
+
+// EncodeMetadata renders the per-rank object references (applications
+// implementing their own Figure 8 checkpoint loops reuse the format so
+// Restore understands their datasets).
+func EncodeMetadata(refs []storage.ObjRef, bytesPerProc int64) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lwfs-checkpoint v1 ranks=%d bytes=%d\n", len(refs), bytesPerProc)
+	for rank, r := range refs {
+		fmt.Fprintf(&b, "%d %d %d %d\n", rank, r.Node, r.Port, uint64(r.ID))
+	}
+	return []byte(b.String())
+}
+
+// Manifest describes a restorable checkpoint.
+type Manifest struct {
+	Ranks        int
+	BytesPerProc int64
+	Refs         []storage.ObjRef
+}
+
+// decodeMetadata parses a metadata object's content.
+func decodeMetadata(data []byte) (Manifest, error) {
+	var m Manifest
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 1 {
+		return m, fmt.Errorf("checkpoint: empty metadata")
+	}
+	if _, err := fmt.Sscanf(lines[0], "lwfs-checkpoint v1 ranks=%d bytes=%d", &m.Ranks, &m.BytesPerProc); err != nil {
+		return m, fmt.Errorf("checkpoint: bad metadata header: %w", err)
+	}
+	if len(lines)-1 != m.Ranks {
+		return m, fmt.Errorf("checkpoint: header says %d ranks, found %d", m.Ranks, len(lines)-1)
+	}
+	m.Refs = make([]storage.ObjRef, m.Ranks)
+	for _, line := range lines[1:] {
+		var rank, node, port int
+		var id uint64
+		if _, err := fmt.Sscanf(line, "%d %d %d %d", &rank, &node, &port, &id); err != nil {
+			return m, fmt.Errorf("checkpoint: bad metadata line %q: %w", line, err)
+		}
+		if rank < 0 || rank >= m.Ranks {
+			return m, fmt.Errorf("checkpoint: rank %d out of range", rank)
+		}
+		m.Refs[rank] = storage.ObjRef{
+			Node: netsim.NodeID(node),
+			Port: portals.Index(port),
+			ID:   osd.ObjectID(id),
+		}
+	}
+	return m, nil
+}
+
+// Restore resolves a checkpoint by name, reads its metadata object, and
+// verifies every rank's state object is present with the recorded size —
+// the restart path of the §4 case study. It returns the manifest so the
+// application can read each rank's state (in parallel, with its own
+// client processes).
+func Restore(p *sim.Proc, c *core.Client, caps core.CapSet, path string) (Manifest, error) {
+	entry, err := c.Lookup(p, path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("checkpoint: resolving %s: %w", path, err)
+	}
+	st, err := c.Stat(p, entry.Ref, caps)
+	if err != nil {
+		return Manifest{}, err
+	}
+	payload, err := c.Read(p, entry.Ref, caps, 0, st.Size)
+	if err != nil {
+		return Manifest{}, err
+	}
+	m, err := decodeMetadata(payload.Data)
+	if err != nil {
+		return Manifest{}, err
+	}
+	for rank, ref := range m.Refs {
+		ost, err := c.Stat(p, ref, caps)
+		if err != nil {
+			return m, fmt.Errorf("checkpoint: rank %d object missing: %w", rank, err)
+		}
+		if ost.Size < m.BytesPerProc {
+			return m, fmt.Errorf("checkpoint: rank %d object truncated: %d < %d",
+				rank, ost.Size, m.BytesPerProc)
+		}
+	}
+	return m, nil
+}

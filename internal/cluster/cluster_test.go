@@ -1,0 +1,137 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/cluster"
+	"lwfs/internal/sim"
+)
+
+func TestDevClusterShape(t *testing.T) {
+	spec := cluster.DevCluster()
+	if spec.ComputeNodes != 31 || spec.StorageNodes != 8 || spec.ServersPerNode != 2 {
+		t.Fatalf("dev cluster: %+v", spec)
+	}
+	cl := cluster.New(spec)
+	// 1 admin + 8 storage + 31 compute = 40 nodes, matching §4.
+	if got := len(cl.Net.Nodes()); got != 40 {
+		t.Fatalf("nodes = %d, want 40", got)
+	}
+	l := cl.DeployLWFS()
+	if len(l.Servers) != 16 {
+		t.Fatalf("servers = %d, want 16", len(l.Servers))
+	}
+	if len(l.Sys.Storage) != 16 {
+		t.Fatalf("targets = %d", len(l.Sys.Storage))
+	}
+}
+
+func TestWithServers(t *testing.T) {
+	for _, tc := range []struct {
+		total          int
+		nodes, perNode int
+	}{
+		{2, 1, 2},
+		{4, 2, 2},
+		{8, 4, 2},
+		{16, 8, 2},
+		{1, 1, 1},
+	} {
+		spec := cluster.DevCluster().WithServers(tc.total)
+		if spec.StorageNodes != tc.nodes || spec.ServersPerNode != tc.perNode {
+			t.Errorf("WithServers(%d) = %d nodes x %d, want %d x %d",
+				tc.total, spec.StorageNodes, spec.ServersPerNode, tc.nodes, tc.perNode)
+		}
+	}
+}
+
+func TestWithServersRejectsNonDivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-divisible server count")
+		}
+	}()
+	cluster.DevCluster().WithServers(3)
+}
+
+func TestCoLocatedServersShareNode(t *testing.T) {
+	cl := cluster.New(cluster.DevCluster().WithServers(4))
+	l := cl.DeployLWFS()
+	// 2 nodes x 2 servers: server pairs share a node with distinct portals.
+	if l.Servers[0].Node() != l.Servers[1].Node() {
+		t.Fatal("first two servers should share a node")
+	}
+	if l.Servers[0].RPCPort() == l.Servers[1].RPCPort() {
+		t.Fatal("co-located servers share a portal")
+	}
+	if l.Servers[0].Node() == l.Servers[2].Node() {
+		t.Fatal("servers 0 and 2 should be on different nodes")
+	}
+}
+
+func TestDeployPFSSameHardwareBudget(t *testing.T) {
+	cl := cluster.New(cluster.DevCluster().WithServers(8))
+	f := cl.DeployPFS()
+	if len(f.OSTs) != 8 {
+		t.Fatalf("OSTs = %d", len(f.OSTs))
+	}
+	if f.MDS.Node() != cl.Admin.Node() {
+		t.Fatal("MDS not on the admin node")
+	}
+}
+
+func TestBothDeploymentsCoexist(t *testing.T) {
+	// Deploying LWFS and the PFS on one cluster must not collide (distinct
+	// portals and devices) — used by side-by-side demos.
+	cl := cluster.New(cluster.DevCluster().WithServers(2))
+	cl.RegisterUser("u", "pw")
+	l := cl.DeployLWFS()
+	f := cl.DeployPFS()
+	c := cl.NewClient(l, 0)
+	pc := cl.NewPFSClient(f, 1)
+	cl.Spawn("lwfs-user", func(p *sim.Proc) {
+		if err := c.Login(p, "u", "pw"); err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		cid, _ := c.CreateContainer(p)
+		caps, err := c.GetCaps(p, cid, authz.OpCreate)
+		if err != nil {
+			t.Errorf("caps: %v", err)
+			return
+		}
+		if _, err := c.CreateObject(p, c.Server(0), caps); err != nil {
+			t.Errorf("create: %v", err)
+		}
+	})
+	cl.Spawn("pfs-user", func(p *sim.Proc) {
+		if _, err := pc.Create(p, "/x", 0); err != nil {
+			t.Errorf("pfs create: %v", err)
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedStormPreset(t *testing.T) {
+	spec := cluster.RedStorm()
+	if spec.ComputeNodes != 10368 || spec.StorageNodes != 256 {
+		t.Fatalf("red storm: %+v", spec)
+	}
+	if spec.Disk.BandwidthBps != 400<<20 {
+		t.Fatalf("raid bw = %v", spec.Disk.BandwidthBps)
+	}
+}
+
+func TestMachineRatios(t *testing.T) {
+	if len(cluster.Table1) != 4 {
+		t.Fatalf("table1 rows = %d", len(cluster.Table1))
+	}
+	for _, m := range cluster.Table1 {
+		if m.Ratio() <= 0 || m.ComputeNodes < m.IONodes {
+			t.Errorf("%s: implausible row %+v", m.Name, m)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package core is the LWFS client library: the user-visible face of the
+// LWFS-core (paper §3, Figures 2–4). A Client bundles, for one application
+// process, the authentication, authorization, storage, naming and
+// transaction clients, and implements the protocol patterns the paper
+// builds its case study from:
+//
+//	cred := client.Login(...)                  // GETCREDS
+//	cid  := client.CreateContainer(...)        // CREATECONTAINER
+//	caps := client.GetCaps(cid, ops...)        // GETCAPS
+//	tx   := client.BeginTxn()                  // BEGINTXN
+//	ref  := client.CreateObjectTxn(...)        // CREATEOBJ
+//	client.Write(ref, cap, off, data)          // DUMPSTATE (server pulls)
+//	client.CreateName(path, ref, tx.ID)        // CREATENAME
+//	tx.Commit(p)                               // ENDTXN
+//
+// The core imposes *no* distribution, caching or consistency policy: a
+// Client exposes the list of storage servers and lets the application (or a
+// library above, like internal/lwfspfs) place objects however it wants —
+// guideline 3 of §3.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lwfs/internal/authn"
+	"lwfs/internal/authz"
+	"lwfs/internal/naming"
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/txn"
+)
+
+// capsPortal receives capability-scatter messages (Figure 4a step 3).
+const capsPortal portals.Index = 18
+
+// System locates the LWFS services a client talks to.
+type System struct {
+	Authn    netsim.NodeID
+	Authz    netsim.NodeID
+	Naming   netsim.NodeID
+	Lock     netsim.NodeID
+	LockPort portals.Index
+	Storage  []storage.Target
+}
+
+// CapSet is a container's capabilities, one per operation.
+type CapSet struct {
+	Container authz.ContainerID
+	Caps      map[authz.Op]authz.Capability
+}
+
+// Get returns the capability for op (zero if absent).
+func (cs CapSet) Get(op authz.Op) authz.Capability { return cs.Caps[op] }
+
+// ErrNotLoggedIn is returned by operations that need a credential before
+// Login succeeded.
+var ErrNotLoggedIn = errors.New("core: not logged in")
+
+// Client is the LWFS client library instance for one application process.
+type Client struct {
+	ep     *portals.Endpoint
+	sys    System
+	caller *portals.Caller
+
+	authn *authn.Client
+	authz *authz.Client
+	nc    *naming.Client
+	sc    *storage.Client
+	co    *txn.Coordinator
+	lc    *txn.LockClient
+
+	cred      authn.Credential
+	scatter   *sim.Mailbox
+	addr      ProcAddr
+	autoRenew bool
+}
+
+// ProcAddr addresses one client *process* for capability scatter: several
+// processes can share a node, so the node alone is not enough — the match
+// bits select the process's scatter match entry.
+type ProcAddr struct {
+	Node netsim.NodeID
+	Bits portals.MatchBits
+}
+
+// NewClient creates a client on ep's node for the given system.
+func NewClient(ep *portals.Endpoint, sys System) *Client {
+	caller := portals.NewCaller(ep)
+	c := &Client{
+		ep:     ep,
+		sys:    sys,
+		caller: caller,
+		authn:  authn.NewClient(caller, sys.Authn),
+		authz:  authz.NewClient(caller, sys.Authz),
+		sc:     storage.NewClient(caller),
+		co:     txn.NewCoordinator(caller),
+	}
+	if sys.Naming != netsim.Invalid {
+		c.nc = naming.NewClient(caller, sys.Naming)
+	}
+	if sys.LockPort != 0 {
+		c.lc = txn.NewLockClient(ep, sys.Lock, sys.LockPort, uint64(ep.Node()))
+	}
+	c.scatter = sim.NewMailbox(ep.Kernel(), fmt.Sprintf("client%d/caps", ep.Node()))
+	c.addr = ProcAddr{Node: ep.Node(), Bits: portals.MatchBits(ep.NextToken())}
+	ep.Attach(capsPortal, c.addr.Bits, 0, &portals.MD{EQ: c.scatter})
+	return c
+}
+
+// Addr returns the client's scatter address.
+func (c *Client) Addr() ProcAddr { return c.addr }
+
+// Node returns the client's node.
+func (c *Client) Node() netsim.NodeID { return c.ep.Node() }
+
+// Endpoint exposes the client's portals endpoint so libraries layered on
+// the core (collective I/O, custom exchange protocols) can move data among
+// ranks directly — the open-architecture posture of §3.
+func (c *Client) Endpoint() *portals.Endpoint { return c.ep }
+
+// Servers returns the storage servers the client knows about. Applications
+// implement their own data-distribution policies over this list.
+func (c *Client) Servers() []storage.Target { return c.sys.Storage }
+
+// Server returns storage server i (modulo the server count), a convenient
+// round-robin placement primitive.
+func (c *Client) Server(i int) storage.Target {
+	return c.sys.Storage[i%len(c.sys.Storage)]
+}
+
+// Locks returns the lock client (nil if the system has no lock service).
+func (c *Client) Locks() *txn.LockClient { return c.lc }
+
+// Naming returns the naming client (nil if the system has no naming service).
+func (c *Client) Naming() *naming.Client { return c.nc }
+
+// Login authenticates and stores the credential (GETCREDS).
+func (c *Client) Login(p *sim.Proc, user authn.Principal, secret string) error {
+	cred, err := c.authn.Login(p, user, secret)
+	if err != nil {
+		return err
+	}
+	c.cred = cred
+	return nil
+}
+
+// Credential returns the stored credential. Credentials are transferable:
+// hand it to other processes with SetCredential.
+func (c *Client) Credential() authn.Credential { return c.cred }
+
+// SetCredential installs a credential obtained elsewhere (a transferred
+// identity, per §3.1.2).
+func (c *Client) SetCredential(cred authn.Credential) { c.cred = cred }
+
+// Logout revokes the stored credential.
+func (c *Client) Logout(p *sim.Proc) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	err := c.authn.Revoke(p, c.cred)
+	c.cred = authn.Credential{}
+	return err
+}
+
+// CreateContainer makes a new container owned by this principal.
+func (c *Client) CreateContainer(p *sim.Proc) (authz.ContainerID, error) {
+	if c.cred.Zero() {
+		return 0, ErrNotLoggedIn
+	}
+	return c.authz.CreateContainer(p, c.cred)
+}
+
+// GetCaps acquires capabilities for ops on a container (GETCAPS).
+func (c *Client) GetCaps(p *sim.Proc, cid authz.ContainerID, ops ...authz.Op) (CapSet, error) {
+	if c.cred.Zero() {
+		return CapSet{}, ErrNotLoggedIn
+	}
+	caps, err := c.authz.GetCaps(p, c.cred, cid, ops...)
+	if err != nil {
+		return CapSet{}, err
+	}
+	cs := CapSet{Container: cid, Caps: make(map[authz.Op]authz.Capability, len(caps))}
+	for _, cap := range caps {
+		cs.Caps[cap.Op] = cap
+	}
+	return cs, nil
+}
+
+// SetAutoRenew enables transparent capability renewal: when a storage
+// operation fails because a capability expired, the client re-acquires the
+// same capability set and retries once. The paper contrasts this with NASD,
+// where expired capabilities force the application to re-acquire everything
+// itself — painful for checkpoints with long gaps between accesses (§5).
+// Requires a stored credential. Callers can also refresh their own CapSet
+// with RenewCaps to avoid repeated renewals of a stale local copy.
+func (c *Client) SetAutoRenew(on bool) { c.autoRenew = on }
+
+// RenewCaps re-acquires the same operations on the same container.
+func (c *Client) RenewCaps(p *sim.Proc, caps CapSet) (CapSet, error) {
+	ops := make([]authz.Op, 0, len(caps.Caps))
+	for _, op := range authz.AllOps {
+		if _, ok := caps.Caps[op]; ok {
+			ops = append(ops, op)
+		}
+	}
+	return c.GetCaps(p, caps.Container, ops...)
+}
+
+// withRenew runs fn and, if auto-renew is on and the failure was an
+// expired capability, retries once with a fresh capability set.
+func (c *Client) withRenew(p *sim.Proc, caps CapSet, fn func(CapSet) error) error {
+	err := fn(caps)
+	if err == nil || !c.autoRenew || !errors.Is(err, authz.ErrExpiredCap) {
+		return err
+	}
+	fresh, rerr := c.RenewCaps(p, caps)
+	if rerr != nil {
+		return err
+	}
+	return fn(fresh)
+}
+
+// Revoke invalidates outstanding capabilities for ops on the container.
+func (c *Client) Revoke(p *sim.Proc, cid authz.ContainerID, ops ...authz.Op) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	return c.authz.Revoke(p, c.cred, cid, ops...)
+}
+
+// SetACL grants or removes another principal's access to a container.
+func (c *Client) SetACL(p *sim.Proc, cid authz.ContainerID, op authz.Op, user authn.Principal, allow bool) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	return c.authz.SetACL(p, c.cred, cid, op, user, allow)
+}
+
+// CreateObject allocates an object on the target server (CREATEOBJ).
+func (c *Client) CreateObject(p *sim.Proc, t storage.Target, caps CapSet) (storage.ObjRef, error) {
+	return c.sc.Create(p, t, caps.Get(authz.OpCreate), caps.Container)
+}
+
+// CreateObjectTxn is CreateObject inside a transaction: the object exists
+// only if tx commits. The server is enlisted automatically.
+func (c *Client) CreateObjectTxn(p *sim.Proc, t storage.Target, caps CapSet, tx *txn.Txn) (storage.ObjRef, error) {
+	tx.Enlist(txn.Endpoint{Node: t.Node, Port: t.Port + 2})
+	return c.sc.CreateTxn(p, t, caps.Get(authz.OpCreate), caps.Container, tx.ID)
+}
+
+// Write stores payload at off in the object (server-directed pull).
+func (c *Client) Write(p *sim.Proc, ref storage.ObjRef, caps CapSet, off int64, payload netsim.Payload) (int64, error) {
+	var n int64
+	err := c.withRenew(p, caps, func(cs CapSet) error {
+		var werr error
+		n, werr = c.sc.Write(p, ref, cs.Get(authz.OpWrite), off, payload)
+		return werr
+	})
+	return n, err
+}
+
+// Read fetches [off, off+length) of the object (server-directed push).
+func (c *Client) Read(p *sim.Proc, ref storage.ObjRef, caps CapSet, off, length int64) (netsim.Payload, error) {
+	var out netsim.Payload
+	err := c.withRenew(p, caps, func(cs CapSet) error {
+		var rerr error
+		out, rerr = c.sc.Read(p, ref, cs.Get(authz.OpRead), off, length)
+		return rerr
+	})
+	return out, err
+}
+
+// Filter runs a deployed server-side filter over the object range and
+// returns its (small) result — the §6 "remote processing" extension: the
+// scan happens next to the disk; only the answer crosses the network.
+// Requires an OpRead capability.
+func (c *Client) Filter(p *sim.Proc, ref storage.ObjRef, caps CapSet, off, length int64, name, args string, maxResult int64) ([]byte, error) {
+	var out []byte
+	err := c.withRenew(p, caps, func(cs CapSet) error {
+		var ferr error
+		out, ferr = c.sc.Filter(p, ref, cs.Get(authz.OpRead), off, length, name, args, maxResult)
+		return ferr
+	})
+	return out, err
+}
+
+// Copy performs a third-party transfer: the destination server pulls the
+// range straight from the source server, so redistribution traffic crosses
+// the network once instead of relaying through this client. Needs OpWrite
+// on the destination's container and OpRead on the source's.
+func (c *Client) Copy(p *sim.Proc, dst storage.ObjRef, dstCaps CapSet, dstOff int64,
+	src storage.ObjRef, srcCaps CapSet, srcOff, length int64) (int64, error) {
+	return c.sc.Copy(p, dst, dstCaps.Get(authz.OpWrite), dstOff,
+		src, srcCaps.Get(authz.OpRead), srcOff, length)
+}
+
+// Remove deletes the object.
+func (c *Client) Remove(p *sim.Proc, ref storage.ObjRef, caps CapSet) error {
+	return c.sc.Remove(p, ref, caps.Get(authz.OpRemove))
+}
+
+// Truncate sets the object's logical size.
+func (c *Client) Truncate(p *sim.Proc, ref storage.ObjRef, caps CapSet, size int64) error {
+	return c.withRenew(p, caps, func(cs CapSet) error {
+		return c.sc.Truncate(p, ref, cs.Get(authz.OpWrite), size)
+	})
+}
+
+// Stat returns object metadata.
+func (c *Client) Stat(p *sim.Proc, ref storage.ObjRef, caps CapSet) (osd.Stat, error) {
+	return c.sc.Stat(p, ref, caps.Get(authz.OpRead))
+}
+
+// List enumerates the container's objects on one server.
+func (c *Client) List(p *sim.Proc, t storage.Target, caps CapSet) ([]osd.ObjectID, error) {
+	return c.sc.List(p, t, caps.Get(authz.OpList), caps.Container)
+}
+
+// Sync flushes one storage server.
+func (c *Client) Sync(p *sim.Proc, t storage.Target, caps CapSet) error {
+	// Any valid capability works; pick deterministically so identical runs
+	// stay identical (map iteration order is randomized).
+	var anyCap authz.Capability
+	for _, op := range authz.AllOps {
+		if cap, ok := caps.Caps[op]; ok {
+			anyCap = cap
+			break
+		}
+	}
+	return c.sc.Sync(p, t, anyCap)
+}
+
+// SetAttr and GetAttr manage object attributes (checkpoint metadata tags).
+func (c *Client) SetAttr(p *sim.Proc, ref storage.ObjRef, caps CapSet, key, value string) error {
+	return c.sc.SetAttr(p, ref, caps.Get(authz.OpWrite), key, value)
+}
+
+// GetAttr reads an object attribute.
+func (c *Client) GetAttr(p *sim.Proc, ref storage.ObjRef, caps CapSet, key string) (string, error) {
+	return c.sc.GetAttr(p, ref, caps.Get(authz.OpRead), key)
+}
+
+// BeginTxn starts a distributed transaction (BEGINTXN).
+func (c *Client) BeginTxn() *txn.Txn { return c.co.Begin() }
+
+// EnlistNaming adds the naming service to a transaction.
+func (c *Client) EnlistNaming(tx *txn.Txn) {
+	tx.Enlist(c.nc.TxnEndpoint())
+}
+
+// CreateName binds a path to an object reference, optionally inside a
+// transaction (CREATENAME).
+func (c *Client) CreateName(p *sim.Proc, path string, ref storage.ObjRef, tx *txn.Txn) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	var id txn.ID
+	if tx != nil {
+		c.EnlistNaming(tx)
+		id = tx.ID
+	}
+	return c.nc.Create(p, c.cred, path, ref, id)
+}
+
+// Lookup resolves a path.
+func (c *Client) Lookup(p *sim.Proc, path string) (naming.Entry, error) {
+	if c.cred.Zero() {
+		return naming.Entry{}, ErrNotLoggedIn
+	}
+	return c.nc.Lookup(p, c.cred, path)
+}
+
+// Mkdir creates a namespace directory.
+func (c *Client) Mkdir(p *sim.Proc, path string) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	return c.nc.Mkdir(p, c.cred, path)
+}
+
+// RemoveName unlinks a path and returns the entry it held.
+func (c *Client) RemoveName(p *sim.Proc, path string) (naming.Entry, error) {
+	if c.cred.Zero() {
+		return naming.Entry{}, ErrNotLoggedIn
+	}
+	return c.nc.Remove(p, c.cred, path)
+}
+
+// ListNames lists a namespace directory.
+func (c *Client) ListNames(p *sim.Proc, path string) ([]string, error) {
+	if c.cred.Zero() {
+		return nil, ErrNotLoggedIn
+	}
+	return c.nc.List(p, c.cred, path)
+}
+
+// scatterMsg carries credentials + capabilities down the scatter tree.
+type scatterMsg struct {
+	Cred    authn.Credential
+	Caps    CapSet
+	Forward []ProcAddr // subtree this receiver is responsible for
+}
+
+// ScatterCaps distributes the credential and capability set to peer client
+// processes along a binomial tree — the logarithmic "scatter" of Figure 4a.
+// Exactly one process (the root) calls ScatterCaps; every peer calls
+// WaitCaps. Message count is len(peers); depth is O(log n).
+func (c *Client) ScatterCaps(p *sim.Proc, caps CapSet, peers []ProcAddr) {
+	c.forward(scatterMsg{Cred: c.cred, Caps: caps, Forward: peers})
+}
+
+func (c *Client) forward(m scatterMsg) {
+	peers := m.Forward
+	for len(peers) > 0 {
+		// Hand the first peer responsibility for the first half of the
+		// remainder; keep the second half.
+		half := (len(peers)-1)/2 + 1
+		child, childTree := peers[0], peers[1:half]
+		c.ep.Put(child.Node, capsPortal, child.Bits,
+			scatterMsg{Cred: m.Cred, Caps: m.Caps, Forward: childTree},
+			netsim.SyntheticPayload(int64(authz.CapWireSize*len(m.Caps.Caps)+96)))
+		peers = peers[half:]
+	}
+}
+
+// WaitCaps blocks until a scattered capability set arrives, installs the
+// credential, forwards to this node's subtree, and returns the capabilities.
+func (c *Client) WaitCaps(p *sim.Proc) (CapSet, error) {
+	ev := c.scatter.Recv(p).(*portals.Event)
+	m, ok := ev.Hdr.(scatterMsg)
+	if !ok {
+		return CapSet{}, fmt.Errorf("core: unexpected scatter payload %T", ev.Hdr)
+	}
+	c.cred = m.Cred
+	c.forward(m)
+	return m.Caps, nil
+}

@@ -1,0 +1,53 @@
+package figures_test
+
+import (
+	"testing"
+
+	"lwfs/internal/figures"
+)
+
+func TestActiveStorageScanShapes(t *testing.T) {
+	filter, err := figures.ActiveStorageScan(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll, err := figures.ActiveStorageScan(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := readAll.Seconds() / filter.Seconds()
+	t.Logf("filter %v vs read-all %v (%.1fx)", filter, readAll, ratio)
+	if ratio < 1.8 {
+		t.Errorf("active-storage advantage = %.1fx, want ≥ 2x-ish", ratio)
+	}
+	// Filter time is bounded below by one shard through one disk.
+	if filter.Seconds() < 128.0/95.0 {
+		t.Errorf("filter faster than the disk allows: %v", filter)
+	}
+}
+
+func TestCollectiveVsIndependentShapes(t *testing.T) {
+	coll, err := figures.CollectiveVsIndependent(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := figures.CollectiveVsIndependent(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := indep.Seconds() / coll.Seconds()
+	t.Logf("collective %v vs independent %v (%.1fx)", coll, indep, ratio)
+	if ratio < 1.5 {
+		t.Errorf("two-phase advantage = %.1fx", ratio)
+	}
+}
+
+func TestSecurityRenderContainsEverything(t *testing.T) {
+	res, err := figures.Security()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GetCaps <= 0 || res.RevokeLatency <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}

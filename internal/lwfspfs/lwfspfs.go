@@ -1,0 +1,460 @@
+// Package lwfspfs is the paper's §6 short-term future work, built: a
+// traditional parallel file system implemented *entirely as a client
+// library* over the LWFS-core. Nothing here required changing a single
+// core service — which is the point of the open-architecture argument
+// (§3, guideline 4):
+//
+//   - The namespace is the LWFS naming service.
+//   - A file is a metadata object (superblock-style layout record) plus
+//     data objects striped RAID-0 over the storage servers; placement is
+//     plain library code any application could replace.
+//   - POSIX write atomicity comes from the LWFS lock service: writers take
+//     the file's exclusive lock, readers its shared lock. Applications
+//     that don't want that pay nothing for it — the checkpoint library
+//     never touches a lock.
+//
+// The companion example examples/posixfs runs it end to end.
+package lwfspfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/core"
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/txn"
+)
+
+// Errors reported by the file system.
+var (
+	ErrBadLayout = errors.New("lwfspfs: corrupt file layout metadata")
+)
+
+// Options tune a file system instance.
+type Options struct {
+	StripeUnit int64 // bytes per stripe chunk (default 1 MiB)
+	Stripes    int   // data objects per file (default: all servers)
+}
+
+func (o Options) withDefaults(servers int) Options {
+	if o.StripeUnit == 0 {
+		o.StripeUnit = 1 << 20
+	}
+	if o.Stripes == 0 || o.Stripes > servers {
+		o.Stripes = servers
+	}
+	return o
+}
+
+// FS is a mounted file system: a container, its capabilities, and a root
+// directory in the naming service.
+type FS struct {
+	c    *core.Client
+	root string
+	cid  authz.ContainerID
+	caps core.CapSet
+	opts Options
+}
+
+// Format creates a new file system rooted at rootDir: a fresh container, a
+// naming directory, and a superblock object recording the layout defaults.
+// The client must be logged in.
+func Format(p *sim.Proc, c *core.Client, rootDir string, opts Options) (*FS, error) {
+	opts = opts.withDefaults(len(c.Servers()))
+	cid, err := c.CreateContainer(p)
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: container: %w", err)
+	}
+	caps, err := c.GetCaps(p, cid, authz.AllOps...)
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: caps: %w", err)
+	}
+	if err := c.Mkdir(p, rootDir); err != nil {
+		return nil, fmt.Errorf("lwfspfs: root: %w", err)
+	}
+	fs := &FS{c: c, root: rootDir, cid: cid, caps: caps, opts: opts}
+	// Superblock: records container and layout so another process can
+	// Mount by path alone.
+	sb, err := c.CreateObject(p, c.Server(0), caps)
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: superblock: %w", err)
+	}
+	content := fmt.Sprintf("lwfspfs v1\ncontainer %d\nstripeunit %d\nstripes %d\n",
+		cid, opts.StripeUnit, opts.Stripes)
+	if _, err := c.Write(p, sb, caps, 0, netsim.BytesPayload([]byte(content))); err != nil {
+		return nil, err
+	}
+	if err := c.CreateName(p, fs.sbPath(), sb, nil); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// sbPath is the superblock's well-known name under the root.
+func (fs *FS) sbPath() string { return fs.root + "/.lwfspfs" }
+
+// Mount opens an existing file system given its root directory and
+// container ID. The container ID travels out of band, exactly like a
+// capability does (paper §3.1.2): whoever invites you to the file system
+// hands you both. The caller's principal must be admitted by the
+// container's policy (the owner grants with SetACL).
+func Mount(p *sim.Proc, c *core.Client, rootDir string, cid authz.ContainerID) (*FS, error) {
+	fs := &FS{c: c, root: rootDir, cid: cid}
+	caps, err := c.GetCaps(p, cid, authz.AllOps...)
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: caps: %w", err)
+	}
+	fs.caps = caps
+	e, err := c.Lookup(p, fs.sbPath())
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: superblock: %w", err)
+	}
+	payload, err := c.Read(p, e.Ref, caps, 0, 256)
+	if err != nil {
+		return nil, err
+	}
+	opts, ok := parseSuperblock(payload.Data)
+	if !ok {
+		return nil, ErrBadLayout
+	}
+	fs.opts = opts.withDefaults(len(c.Servers()))
+	return fs, nil
+}
+
+// MountReadOnly is Mount for principals granted only read and list access:
+// ReadAt, Open and List work; Create, WriteAt and Remove fail with the
+// zero-capability errors of the storage service.
+func MountReadOnly(p *sim.Proc, c *core.Client, rootDir string, cid authz.ContainerID) (*FS, error) {
+	fs := &FS{c: c, root: rootDir, cid: cid}
+	caps, err := c.GetCaps(p, cid, authz.OpRead, authz.OpList)
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: caps: %w", err)
+	}
+	fs.caps = caps
+	e, err := c.Lookup(p, fs.sbPath())
+	if err != nil {
+		return nil, fmt.Errorf("lwfspfs: superblock: %w", err)
+	}
+	payload, err := c.Read(p, e.Ref, caps, 0, 256)
+	if err != nil {
+		return nil, err
+	}
+	opts, ok := parseSuperblock(payload.Data)
+	if !ok {
+		return nil, ErrBadLayout
+	}
+	fs.opts = opts.withDefaults(len(c.Servers()))
+	return fs, nil
+}
+
+func parseSuperblock(data []byte) (Options, bool) {
+	var opts Options
+	var cid uint64
+	n, err := fmt.Sscanf(string(data), "lwfspfs v1\ncontainer %d\nstripeunit %d\nstripes %d\n",
+		&cid, &opts.StripeUnit, &opts.Stripes)
+	return opts, err == nil && n == 3
+}
+
+// Container returns the file system's container ID (hand it to mounters).
+func (fs *FS) Container() authz.ContainerID { return fs.cid }
+
+// Root returns the mount directory.
+func (fs *FS) Root() string { return fs.root }
+
+// full converts an FS-relative path to a naming-service path.
+func (fs *FS) full(path string) string {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return fs.root + path
+}
+
+// lockName is the lock-service key protecting a file.
+func (fs *FS) lockName(path string) string { return "lwfspfs:" + fs.full(path) }
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(p *sim.Proc, path string) error {
+	return fs.c.Mkdir(p, fs.full(path))
+}
+
+// List lists a directory, hiding the superblock.
+func (fs *FS) List(p *sim.Proc, path string) ([]string, error) {
+	names, err := fs.c.ListNames(p, fs.full(path))
+	if err != nil {
+		return nil, err
+	}
+	out := names[:0]
+	for _, n := range names {
+		if n != ".lwfspfs" {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// layout is a file's persistent metadata: its data objects plus size.
+type layout struct {
+	size    int64
+	stripeU int64
+	objs    []storage.ObjRef
+}
+
+func (l layout) encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "size %d\nstripeunit %d\n", l.size, l.stripeU)
+	for _, o := range l.objs {
+		fmt.Fprintf(&b, "obj %d %d %d\n", o.Node, o.Port, uint64(o.ID))
+	}
+	return []byte(b.String())
+}
+
+func decodeLayout(data []byte) (layout, error) {
+	var l layout
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		return l, ErrBadLayout
+	}
+	if _, err := fmt.Sscanf(lines[0], "size %d", &l.size); err != nil {
+		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+	}
+	if _, err := fmt.Sscanf(lines[1], "stripeunit %d", &l.stripeU); err != nil {
+		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+	}
+	for _, line := range lines[2:] {
+		var node, port int
+		var id uint64
+		if _, err := fmt.Sscanf(line, "obj %d %d %d", &node, &port, &id); err != nil {
+			return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+		}
+		l.objs = append(l.objs, storage.ObjRef{
+			Node: netsim.NodeID(node),
+			Port: portals.Index(port),
+			ID:   osd.ObjectID(id),
+		})
+	}
+	return l, nil
+}
+
+// layoutWireMax bounds the metadata object read size.
+const layoutWireMax = 64 << 10
+
+// File is an open file.
+type File struct {
+	fs    *FS
+	path  string
+	mdRef storage.ObjRef
+	l     layout
+	dirty bool
+}
+
+// Create makes a new file: data objects placed round-robin from a
+// path-derived starting server (a simple distribution policy; applications
+// can mount with Stripes=1 and do their own), a metadata object, and a
+// naming entry — all inside one distributed transaction, so a crashed
+// create leaves no debris.
+func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
+	tx := fs.c.BeginTxn()
+	l := layout{stripeU: fs.opts.StripeUnit}
+	base := pathHash(path)
+	for i := 0; i < fs.opts.Stripes; i++ {
+		ref, err := fs.c.CreateObjectTxn(p, fs.c.Server(base+i), fs.caps, tx)
+		if err != nil {
+			tx.Abort(p) //nolint:errcheck
+			return nil, err
+		}
+		l.objs = append(l.objs, ref)
+	}
+	mdRef, err := fs.c.CreateObjectTxn(p, fs.c.Server(base), fs.caps, tx)
+	if err != nil {
+		tx.Abort(p) //nolint:errcheck
+		return nil, err
+	}
+	if _, err := fs.c.Write(p, mdRef, fs.caps, 0, netsim.BytesPayload(l.encode())); err != nil {
+		tx.Abort(p) //nolint:errcheck
+		return nil, err
+	}
+	if err := fs.c.CreateName(p, fs.full(path), mdRef, tx); err != nil {
+		tx.Abort(p) //nolint:errcheck
+		return nil, err
+	}
+	if err := tx.Commit(p); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, path: path, mdRef: mdRef, l: l}, nil
+}
+
+// Open opens an existing file.
+func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
+	e, err := fs.c.Lookup(p, fs.full(path))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := fs.c.Read(p, e.Ref, fs.caps, 0, layoutWireMax)
+	if err != nil {
+		return nil, err
+	}
+	l, err := decodeLayout(payload.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, path: path, mdRef: e.Ref, l: l}, nil
+}
+
+// Remove unlinks a file and frees its objects.
+func (fs *FS) Remove(p *sim.Proc, path string) error {
+	f, err := fs.Open(p, path)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.c.RemoveName(p, fs.full(path)); err != nil {
+		return err
+	}
+	for _, o := range f.l.objs {
+		if err := fs.c.Remove(p, o, fs.caps); err != nil {
+			return err
+		}
+	}
+	return fs.c.Remove(p, f.mdRef, fs.caps)
+}
+
+// Size returns the file's current size (as of open or last local write).
+func (f *File) Size() int64 { return f.l.size }
+
+// stripeFor maps a file offset to (object index, object offset).
+func (f *File) stripeFor(off int64) (int, int64) {
+	u := f.l.stripeU
+	m := int64(len(f.l.objs))
+	w := off / u
+	return int(w % m), (w/m)*u + off%u
+}
+
+// WriteAt writes payload at off under POSIX semantics: the file's
+// exclusive lock is held for the duration, so concurrent writers serialize
+// and readers never observe torn writes.
+func (f *File) WriteAt(p *sim.Proc, off int64, payload netsim.Payload) (int64, error) {
+	locks := f.fs.c.Locks()
+	if err := locks.Lock(p, f.fs.lockName(f.path), txn.Exclusive); err != nil {
+		return 0, err
+	}
+	defer locks.Unlock(p, f.fs.lockName(f.path)) //nolint:errcheck
+	n, err := f.writeUnlocked(p, off, payload)
+	if err != nil {
+		return n, err
+	}
+	if end := off + payload.Size; end > f.l.size {
+		f.l.size = end
+		f.dirty = true
+	}
+	// Persist the new size immediately: POSIX readers opening after this
+	// write returns must see it.
+	return n, f.flushMeta(p)
+}
+
+func (f *File) writeUnlocked(p *sim.Proc, off int64, payload netsim.Payload) (int64, error) {
+	var written int64
+	u := f.l.stripeU
+	for cur := off; cur < off+payload.Size; {
+		idx, objOff := f.stripeFor(cur)
+		n := u - (cur % u)
+		if n > off+payload.Size-cur {
+			n = off + payload.Size - cur
+		}
+		piece := netsim.SyntheticPayload(n)
+		if payload.Data != nil {
+			piece = netsim.BytesPayload(payload.Data[cur-off : cur-off+n])
+		}
+		w, err := f.fs.c.Write(p, f.l.objs[idx], f.fs.caps, objOff, piece)
+		written += w
+		if err != nil {
+			return written, err
+		}
+		cur += n
+	}
+	return written, nil
+}
+
+// ReadAt reads [off, off+length) under the file's shared lock.
+func (f *File) ReadAt(p *sim.Proc, off, length int64) (netsim.Payload, error) {
+	locks := f.fs.c.Locks()
+	if err := locks.Lock(p, f.fs.lockName(f.path), txn.Shared); err != nil {
+		return netsim.Payload{}, err
+	}
+	defer locks.Unlock(p, f.fs.lockName(f.path)) //nolint:errcheck
+	if off >= f.l.size {
+		return netsim.Payload{}, nil
+	}
+	if off+length > f.l.size {
+		length = f.l.size - off
+	}
+	out := netsim.Payload{Size: length}
+	var buf []byte
+	u := f.l.stripeU
+	for cur := off; cur < off+length; {
+		idx, objOff := f.stripeFor(cur)
+		n := u - (cur % u)
+		if n > off+length-cur {
+			n = off + length - cur
+		}
+		piece, err := f.fs.c.Read(p, f.l.objs[idx], f.fs.caps, objOff, n)
+		if err != nil {
+			return out, err
+		}
+		if piece.Data != nil {
+			if buf == nil {
+				buf = make([]byte, length)
+			}
+			copy(buf[cur-off:], piece.Data)
+		}
+		cur += n
+	}
+	out.Data = buf
+	return out, nil
+}
+
+// Sync flushes every storage server holding part of the file.
+func (f *File) Sync(p *sim.Proc) error {
+	seen := map[storage.Target]bool{}
+	for _, o := range f.l.objs {
+		t := storage.TargetOf(o)
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if err := f.fs.c.Sync(p, t, f.fs.caps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close persists metadata if needed.
+func (f *File) Close(p *sim.Proc) error {
+	if !f.dirty {
+		return nil
+	}
+	return f.flushMeta(p)
+}
+
+func (f *File) flushMeta(p *sim.Proc) error {
+	_, err := f.fs.c.Write(p, f.mdRef, f.fs.caps, 0, netsim.BytesPayload(f.l.encode()))
+	f.dirty = false
+	return err
+}
+
+// pathHash spreads files' starting servers.
+func pathHash(path string) int {
+	h := 2166136261
+	for i := 0; i < len(path); i++ {
+		h = (h ^ int(path[i])) * 16777619
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,240 @@
+// Package netsim models the communication network of a partitioned MPP
+// (paper §2.1, Figure 1): a set of nodes, each with a network interface
+// whose egress and ingress sides are FIFO bandwidth servers, connected by a
+// full-crossbar fabric with uniform latency.
+//
+// A message of size s from node A to node B costs
+//
+//	serialize on A's egress (s / egressBW)
+//	+ fabric latency
+//	+ serialize on B's ingress (s / ingressBW)
+//	+ fixed per-message software overhead at the receiver.
+//
+// Contention is emergent: when thousands of compute nodes burst I/O at one
+// I/O node (paper §3.2), their transfers serialize on that node's ingress
+// server, exactly the queueing effect server-directed I/O is designed to
+// control.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"lwfs/internal/sim"
+)
+
+// NodeID identifies a node in the network.
+type NodeID int
+
+// Invalid is a sentinel for "no node".
+const Invalid NodeID = -1
+
+// Payload describes message data. Data may be nil for synthetic payloads:
+// benchmarks move terabytes of virtual data without allocating it, while
+// tests and examples carry real bytes end-to-end.
+type Payload struct {
+	Size int64  // bytes on the wire
+	Data []byte // optional real content; len(Data) <= Size
+}
+
+// BytesPayload wraps real bytes in a payload.
+func BytesPayload(b []byte) Payload { return Payload{Size: int64(len(b)), Data: b} }
+
+// SyntheticPayload describes size bytes with no backing content.
+func SyntheticPayload(size int64) Payload { return Payload{Size: size} }
+
+// Message is a single network transfer.
+type Message struct {
+	From, To NodeID
+	Size     int64       // wire size in bytes (headers + payload)
+	Body     interface{} // protocol-level content (request structs, Payload, ...)
+}
+
+// Handler consumes messages delivered to a node. It runs in kernel context
+// and must not block; long work should be queued to a service process.
+type Handler func(m Message)
+
+// Config describes a node's network interface.
+type Config struct {
+	EgressBW   float64       // bytes/second out of the node
+	IngressBW  float64       // bytes/second into the node
+	SWOverhead time.Duration // per-message receive processing (interrupt, demux)
+}
+
+// Node is one endpoint of the network.
+type Node struct {
+	ID      NodeID
+	Name    string
+	egress  *sim.FIFOServer
+	ingress *sim.FIFOServer
+	cfg     Config
+	handler Handler
+
+	sent, received int64
+	bytesSent      int64
+	bytesReceived  int64
+}
+
+// Network is a full crossbar of nodes with uniform latency.
+type Network struct {
+	k       *sim.Kernel
+	latency time.Duration
+	nodes   []*Node
+	trace   func(at sim.Time, m Message, event string)
+	fault   func(m Message) bool
+	dropped int64
+}
+
+// SetFault installs a fault injector consulted for every message at send
+// time; returning true silently drops the message (a lossy or partitioned
+// fabric). Pass nil to heal. Timing note: drops happen before egress, so
+// the sender pays nothing — appropriate for modeling partitions, where
+// packets vanish in the fabric.
+func (n *Network) SetFault(f func(m Message) bool) { n.fault = f }
+
+// Partition drops every message between the two node groups (both
+// directions) until SetFault(nil) heals the network.
+func (n *Network) Partition(groupA, groupB []NodeID) {
+	inA := map[NodeID]bool{}
+	inB := map[NodeID]bool{}
+	for _, id := range groupA {
+		inA[id] = true
+	}
+	for _, id := range groupB {
+		inB[id] = true
+	}
+	n.SetFault(func(m Message) bool {
+		return (inA[m.From] && inB[m.To]) || (inB[m.From] && inA[m.To])
+	})
+}
+
+// Dropped reports messages removed by the fault injector.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// SetTrace installs a message-trace hook, called at send ("tx") and
+// delivery ("rx") of every message. Pass nil to disable. The hook runs in
+// kernel context and must not block.
+func (n *Network) SetTrace(f func(at sim.Time, m Message, event string)) { n.trace = f }
+
+func (n *Network) traceMsg(m Message, event string) {
+	if n.trace != nil {
+		n.trace(n.k.Now(), m, event)
+	}
+}
+
+// New creates an empty network with the given fabric latency.
+func New(k *sim.Kernel, latency time.Duration) *Network {
+	return &Network{k: k, latency: latency}
+}
+
+// Kernel returns the simulation kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Latency returns the fabric latency.
+func (n *Network) Latency() time.Duration { return n.latency }
+
+// AddNode registers a node and returns it.
+func (n *Network) AddNode(name string, cfg Config) *Node {
+	if cfg.EgressBW <= 0 || cfg.IngressBW <= 0 {
+		panic(fmt.Sprintf("netsim: node %q: non-positive bandwidth", name))
+	}
+	id := NodeID(len(n.nodes))
+	nd := &Node{
+		ID:      id,
+		Name:    name,
+		egress:  sim.NewFIFOServer(n.k, name+"/egress"),
+		ingress: sim.NewFIFOServer(n.k, name+"/ingress"),
+		cfg:     cfg,
+	}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Nodes returns all registered nodes.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// SetHandler installs the message handler for a node. A node without a
+// handler drops messages (and panics in debug builds of protocols, which
+// always bind handlers first).
+func (nd *Node) SetHandler(h Handler) { nd.handler = h }
+
+// Stats reports message and byte counters for a node.
+func (nd *Node) Stats() (sent, received, bytesSent, bytesReceived int64) {
+	return nd.sent, nd.received, nd.bytesSent, nd.bytesReceived
+}
+
+// IngressBusy reports the total time the node's ingress server was busy.
+func (nd *Node) IngressBusy() time.Duration { return nd.ingress.BusyTime() }
+
+// EgressBusy reports the total time the node's egress server was busy.
+func (nd *Node) EgressBusy() time.Duration { return nd.egress.BusyTime() }
+
+// Send transmits m asynchronously: the caller continues immediately and the
+// message is delivered to the destination handler after egress
+// serialization, latency and ingress serialization. Send may be called from
+// kernel context or any process.
+func (n *Network) Send(m Message) {
+	src := n.Node(m.From)
+	dst := n.Node(m.To)
+	if m.Size <= 0 {
+		m.Size = 1
+	}
+	if n.fault != nil && n.fault(m) {
+		n.dropped++
+		return
+	}
+	src.sent++
+	src.bytesSent += m.Size
+	n.traceMsg(m, "tx")
+	src.egress.Schedule(sim.Rate(m.Size, src.cfg.EgressBW), func() {
+		n.k.After(n.latency, func() {
+			dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
+				dst.received++
+				dst.bytesReceived += m.Size
+				n.traceMsg(m, "rx")
+				if dst.handler != nil {
+					dst.handler(m)
+				}
+			})
+		})
+	})
+}
+
+// SendWait is Send, but the calling process blocks until the message has
+// fully left the local NIC (egress serialization complete). This models a
+// blocking send whose local buffer cannot be reused until the DMA engine is
+// done — the natural shape for a client streaming checkpoint chunks.
+func (n *Network) SendWait(p *sim.Proc, m Message) {
+	src := n.Node(m.From)
+	dst := n.Node(m.To)
+	if m.Size <= 0 {
+		m.Size = 1
+	}
+	if n.fault != nil && n.fault(m) {
+		n.dropped++
+		return
+	}
+	src.sent++
+	src.bytesSent += m.Size
+	n.traceMsg(m, "tx")
+	// Block for our egress slot, then launch the rest of the pipeline.
+	src.egress.Wait(p, sim.Rate(m.Size, src.cfg.EgressBW))
+	n.k.After(n.latency, func() {
+		dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
+			dst.received++
+			dst.bytesReceived += m.Size
+			n.traceMsg(m, "rx")
+			if dst.handler != nil {
+				dst.handler(m)
+			}
+		})
+	})
+}

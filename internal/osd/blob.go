@@ -1,0 +1,134 @@
+// Package osd implements the object-based storage device of the LWFS
+// storage architecture (paper §3.3, Figure 7b): a flat store of objects
+// addressed by object ID, each belonging to exactly one container (the unit
+// of access control, §3.1.1), fronted by a simulated disk with calibrated
+// bandwidth and per-operation overheads.
+//
+// Block-layout decisions and policy enforcement live here, on the device —
+// not on a central file server — which is what lets LWFS clients reach
+// storage without a metadata-server round trip per access.
+package osd
+
+import (
+	"sort"
+
+	"lwfs/internal/netsim"
+)
+
+// Blob is a sparse byte sequence supporting mixed real and synthetic
+// writes. Real writes (payload carries bytes) are stored as extents and
+// read back exactly, with zero-fill for holes; synthetic writes (size-only
+// payloads used by large-scale benchmarks) extend the logical size without
+// allocating memory.
+type Blob struct {
+	size    int64
+	extents []extent // sorted by off, non-overlapping
+}
+
+type extent struct {
+	off  int64
+	data []byte
+}
+
+func (e extent) end() int64 { return e.off + int64(len(e.data)) }
+
+// Size returns the logical size (highest written offset + length).
+func (b *Blob) Size() int64 { return b.size }
+
+// HasRealData reports whether any real bytes are stored.
+func (b *Blob) HasRealData() bool { return len(b.extents) > 0 }
+
+// Write stores payload at off. If payload carries real bytes they become
+// readable; a synthetic payload only extends the logical size.
+func (b *Blob) Write(off int64, payload netsim.Payload) {
+	if off < 0 {
+		panic("osd: negative write offset")
+	}
+	if end := off + payload.Size; end > b.size {
+		b.size = end
+	}
+	if payload.Data == nil {
+		return
+	}
+	data := make([]byte, len(payload.Data))
+	copy(data, payload.Data)
+	b.insert(extent{off: off, data: data})
+}
+
+// insert places e into the extent list, trimming or splitting any overlaps.
+func (b *Blob) insert(e extent) {
+	if len(e.data) == 0 {
+		return
+	}
+	var out []extent
+	for _, x := range b.extents {
+		switch {
+		case x.end() <= e.off || x.off >= e.end():
+			out = append(out, x) // disjoint
+		case x.off < e.off && x.end() > e.end():
+			// e splits x into a head and a tail.
+			head := extent{off: x.off, data: x.data[:e.off-x.off]}
+			tail := extent{off: e.end(), data: x.data[e.end()-x.off:]}
+			out = append(out, head, tail)
+		case x.off < e.off:
+			// keep x's head
+			out = append(out, extent{off: x.off, data: x.data[:e.off-x.off]})
+		case x.end() > e.end():
+			// keep x's tail
+			out = append(out, extent{off: e.end(), data: x.data[e.end()-x.off:]})
+		default:
+			// fully covered: drop
+		}
+	}
+	out = append(out, e)
+	sort.Slice(out, func(i, j int) bool { return out[i].off < out[j].off })
+	b.extents = out
+}
+
+// Read returns [off, off+length). If the blob holds any real bytes in the
+// range (or anywhere — callers treat a real blob as fully materializable),
+// the result carries real bytes with zero-filled holes; otherwise it is a
+// synthetic payload of the requested length. Reading past the logical size
+// zero-fills (like reading a sparse file's hole); callers that care check
+// Size first.
+func (b *Blob) Read(off, length int64) netsim.Payload {
+	if off < 0 || length < 0 {
+		panic("osd: negative read range")
+	}
+	if len(b.extents) == 0 {
+		return netsim.SyntheticPayload(length)
+	}
+	out := make([]byte, length)
+	for _, x := range b.extents {
+		if x.end() <= off || x.off >= off+length {
+			continue
+		}
+		lo, hi := x.off, x.end()
+		if lo < off {
+			lo = off
+		}
+		if hi > off+length {
+			hi = off + length
+		}
+		copy(out[lo-off:hi-off], x.data[lo-x.off:hi-x.off])
+	}
+	return netsim.Payload{Size: length, Data: out}
+}
+
+// Truncate sets the logical size, discarding real data past it.
+func (b *Blob) Truncate(size int64) {
+	if size < 0 {
+		panic("osd: negative truncate")
+	}
+	b.size = size
+	var out []extent
+	for _, x := range b.extents {
+		switch {
+		case x.end() <= size:
+			out = append(out, x)
+		case x.off < size:
+			out = append(out, extent{off: x.off, data: x.data[:size-x.off]})
+		}
+	}
+	b.extents = out
+}

@@ -1,0 +1,295 @@
+package osd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+)
+
+// ObjectID names an object on a device. IDs are device-local.
+type ObjectID uint64
+
+// ContainerID names the access-control container an object belongs to
+// (paper §3.1.1). Containers are created by the authorization service;
+// devices only tag objects with them and enforce nothing further — policy
+// enforcement happens in the storage service using capabilities.
+type ContainerID uint64
+
+// Errors reported by device operations.
+var (
+	ErrNoObject = errors.New("osd: no such object")
+	ErrExists   = errors.New("osd: object already exists")
+)
+
+// DiskParams calibrate the simulated disk behind a device.
+type DiskParams struct {
+	BandwidthBps  float64       // sustained transfer bandwidth, bytes/second
+	PerOpOverhead time.Duration // positioning/submission cost per read/write
+	CreateCost    time.Duration // allocate + metadata update for object create
+	RemoveCost    time.Duration // deallocate cost
+	SyncCost      time.Duration // cache flush barrier cost
+}
+
+// DefaultDiskParams model one OST's share of the paper's LSI MetaStor
+// fibre-channel RAID (two storage servers per node sharing the array).
+func DefaultDiskParams() DiskParams {
+	return DiskParams{
+		BandwidthBps:  95e6,
+		PerOpOverhead: 200 * time.Microsecond,
+		CreateCost:    240 * time.Microsecond,
+		RemoveCost:    240 * time.Microsecond,
+		SyncCost:      500 * time.Microsecond,
+	}
+}
+
+// Object is one stored object with its data and extended attributes.
+type Object struct {
+	ID        ObjectID
+	Container ContainerID
+	Data      Blob
+	Attrs     map[string]string
+	Created   sim.Time
+	Modified  sim.Time
+}
+
+// Stat is the metadata snapshot returned by Device.Stat.
+type Stat struct {
+	ID        ObjectID
+	Container ContainerID
+	Size      int64
+	Created   sim.Time
+	Modified  sim.Time
+}
+
+// Device is an object-based storage device: a flat object namespace over a
+// FIFO disk. All blocking methods must be called from a simulated process
+// on the device's node (the storage service).
+type Device struct {
+	k       *sim.Kernel
+	name    string
+	disk    *sim.FIFOServer
+	params  DiskParams
+	objects map[ObjectID]*Object
+	nextID  ObjectID
+
+	creates, removes, reads, writes int64
+	bytesRead, bytesWritten         int64
+}
+
+// NewDevice creates a device with the given disk parameters.
+func NewDevice(k *sim.Kernel, name string, params DiskParams) *Device {
+	if params.BandwidthBps <= 0 {
+		panic(fmt.Sprintf("osd: device %q: non-positive bandwidth", name))
+	}
+	return &Device{
+		k:       k,
+		name:    name,
+		disk:    sim.NewFIFOServer(k, name+"/disk"),
+		params:  params,
+		objects: make(map[ObjectID]*Object),
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Params returns the disk calibration.
+func (d *Device) Params() DiskParams { return d.params }
+
+// NumObjects reports the number of live objects.
+func (d *Device) NumObjects() int { return len(d.objects) }
+
+// Counters reports operation counts: creates, removes, reads, writes and
+// bytes moved.
+func (d *Device) Counters() (creates, removes, reads, writes, bytesRead, bytesWritten int64) {
+	return d.creates, d.removes, d.reads, d.writes, d.bytesRead, d.bytesWritten
+}
+
+// DiskBusy reports accumulated disk service time (for utilization reports).
+func (d *Device) DiskBusy() time.Duration { return d.disk.BusyTime() }
+
+// Create allocates a new object in container cid and returns it after the
+// create cost has been paid on the disk.
+func (d *Device) Create(p *sim.Proc, cid ContainerID) *Object {
+	d.disk.Wait(p, d.params.CreateCost)
+	d.nextID++
+	obj := &Object{
+		ID:        d.nextID,
+		Container: cid,
+		Attrs:     make(map[string]string),
+		Created:   d.k.Now(),
+		Modified:  d.k.Now(),
+	}
+	d.objects[obj.ID] = obj
+	d.creates++
+	return obj
+}
+
+// ReservedIDBase marks the top of the object-ID space reserved for system
+// objects with well-known IDs (transaction journals). IDs at or above it
+// never influence the device's allocation counter.
+const ReservedIDBase ObjectID = 1 << 62
+
+// CreateWithID allocates an object with a caller-chosen ID (used by
+// journal replay, layered file systems that embed IDs in metadata, and
+// well-known system objects above ReservedIDBase).
+func (d *Device) CreateWithID(p *sim.Proc, id ObjectID, cid ContainerID) (*Object, error) {
+	d.disk.Wait(p, d.params.CreateCost)
+	if _, ok := d.objects[id]; ok {
+		return nil, ErrExists
+	}
+	if id > d.nextID && id < ReservedIDBase {
+		d.nextID = id
+	}
+	obj := &Object{
+		ID:        id,
+		Container: cid,
+		Attrs:     make(map[string]string),
+		Created:   d.k.Now(),
+		Modified:  d.k.Now(),
+	}
+	d.objects[id] = obj
+	d.creates++
+	return obj, nil
+}
+
+// Lookup returns the object with the given ID without touching the disk.
+func (d *Device) Lookup(id ObjectID) (*Object, error) {
+	obj, ok := d.objects[id]
+	if !ok {
+		return nil, ErrNoObject
+	}
+	return obj, nil
+}
+
+// Write stores payload at offset off in object id, paying per-op overhead
+// plus size/bandwidth on the disk (write-through).
+func (d *Device) Write(p *sim.Proc, id ObjectID, off int64, payload netsim.Payload) error {
+	obj, ok := d.objects[id]
+	if !ok {
+		return ErrNoObject
+	}
+	d.disk.Wait(p, d.params.PerOpOverhead+sim.Rate(payload.Size, d.params.BandwidthBps))
+	// Re-check: the object may have been removed while we were queued.
+	if _, ok := d.objects[id]; !ok {
+		return ErrNoObject
+	}
+	obj.Data.Write(off, payload)
+	obj.Modified = d.k.Now()
+	d.writes++
+	d.bytesWritten += payload.Size
+	return nil
+}
+
+// Read returns [off, off+length) of object id, paying disk costs.
+func (d *Device) Read(p *sim.Proc, id ObjectID, off, length int64) (netsim.Payload, error) {
+	obj, ok := d.objects[id]
+	if !ok {
+		return netsim.Payload{}, ErrNoObject
+	}
+	if off+length > obj.Data.Size() {
+		if off >= obj.Data.Size() {
+			return netsim.Payload{}, nil // EOF
+		}
+		length = obj.Data.Size() - off
+	}
+	d.disk.Wait(p, d.params.PerOpOverhead+sim.Rate(length, d.params.BandwidthBps))
+	if _, ok := d.objects[id]; !ok {
+		return netsim.Payload{}, ErrNoObject
+	}
+	d.reads++
+	d.bytesRead += length
+	return obj.Data.Read(off, length), nil
+}
+
+// Remove deletes object id.
+func (d *Device) Remove(p *sim.Proc, id ObjectID) error {
+	if _, ok := d.objects[id]; !ok {
+		return ErrNoObject
+	}
+	d.disk.Wait(p, d.params.RemoveCost)
+	delete(d.objects, id)
+	d.removes++
+	return nil
+}
+
+// Truncate sets the object's logical size, discarding data past it.
+func (d *Device) Truncate(p *sim.Proc, id ObjectID, size int64) error {
+	obj, ok := d.objects[id]
+	if !ok {
+		return ErrNoObject
+	}
+	d.disk.Wait(p, d.params.PerOpOverhead)
+	if _, ok := d.objects[id]; !ok {
+		return ErrNoObject
+	}
+	obj.Data.Truncate(size)
+	obj.Modified = d.k.Now()
+	return nil
+}
+
+// Stat returns object metadata (no disk cost: attributes are cached on the
+// device controller).
+func (d *Device) Stat(id ObjectID) (Stat, error) {
+	obj, ok := d.objects[id]
+	if !ok {
+		return Stat{}, ErrNoObject
+	}
+	return Stat{
+		ID:        obj.ID,
+		Container: obj.Container,
+		Size:      obj.Data.Size(),
+		Created:   obj.Created,
+		Modified:  obj.Modified,
+	}, nil
+}
+
+// Sync blocks until every queued disk operation has completed, plus the
+// flush barrier cost. It models fsync-like durability for checkpoints.
+func (d *Device) Sync(p *sim.Proc) {
+	d.disk.Wait(p, d.params.SyncCost)
+}
+
+// SetAttr sets a named attribute on an object.
+func (d *Device) SetAttr(p *sim.Proc, id ObjectID, key, value string) error {
+	obj, ok := d.objects[id]
+	if !ok {
+		return ErrNoObject
+	}
+	d.disk.Wait(p, d.params.PerOpOverhead)
+	obj.Attrs[key] = value
+	return nil
+}
+
+// GetAttr reads a named attribute.
+func (d *Device) GetAttr(id ObjectID, key string) (string, error) {
+	obj, ok := d.objects[id]
+	if !ok {
+		return "", ErrNoObject
+	}
+	return obj.Attrs[key], nil
+}
+
+// ListContainer returns the IDs of live objects in a container, in
+// ascending ID order.
+func (d *Device) ListContainer(cid ContainerID) []ObjectID {
+	var ids []ObjectID
+	for id, obj := range d.objects {
+		if obj.Container == cid {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids)
+	return ids
+}
+
+func sortIDs(ids []ObjectID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

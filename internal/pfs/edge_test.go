@@ -1,0 +1,104 @@
+package pfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+)
+
+func TestReadPastEOFShortens(t *testing.T) {
+	cl, f := smallCluster(4)
+	c := cl.NewPFSClient(f, 0)
+	cl.K.Spawn("app", func(p *sim.Proc) {
+		file, err := c.Create(p, "/short", 0)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		data := []byte("just a few bytes")
+		file.Write(p, 0, netsim.BytesPayload(data))
+		got, err := file.Read(p, 5, 1000)
+		if err != nil || !bytes.Equal(got.Data, data[5:]) {
+			t.Fatalf("short read: %q %v", got.Data, err)
+		}
+		got, err = file.Read(p, 100, 10)
+		if err != nil || got.Size != 0 {
+			t.Fatalf("past-eof: %+v %v", got, err)
+		}
+	})
+	run(t, cl)
+}
+
+func TestCloseUpdatesMDSSize(t *testing.T) {
+	cl, f := smallCluster(2)
+	a := cl.NewPFSClient(f, 0)
+	b := cl.NewPFSClient(f, 1)
+	done := sim.NewMailbox(cl.K, "done")
+	cl.K.Spawn("writer", func(p *sim.Proc) {
+		file, _ := a.Create(p, "/sized", 0)
+		file.Write(p, 0, netsim.SyntheticPayload(12345))
+		file.Close(p)
+		done.Send("ok")
+	})
+	cl.K.Spawn("reader", func(p *sim.Proc) {
+		done.Recv(p)
+		l, err := b.Stat(p, "/sized")
+		if err != nil || l.Size != 12345 {
+			t.Errorf("stat after close: %+v %v", l, err)
+		}
+	})
+	run(t, cl)
+}
+
+func TestSparseStripedWrite(t *testing.T) {
+	cl, f := smallCluster(4)
+	c := cl.NewPFSClient(f, 0)
+	cl.K.Spawn("app", func(p *sim.Proc) {
+		file, _ := c.Create(p, "/sparse", 0)
+		// Write far into the file, skipping several stripes.
+		data := []byte("tail data")
+		if _, err := file.Write(p, 7*mb, netsim.BytesPayload(data)); err != nil {
+			t.Fatalf("sparse write: %v", err)
+		}
+		got, err := file.Read(p, 7*mb, int64(len(data)))
+		if err != nil || !bytes.Equal(got.Data, data) {
+			t.Fatalf("sparse read: %q %v", got.Data, err)
+		}
+		// The hole reads back zeros (or synthetic absence), not garbage.
+		hole, err := file.Read(p, 3*mb, 16)
+		if err != nil {
+			t.Fatalf("hole read: %v", err)
+		}
+		for _, byt := range hole.Data {
+			if byt != 0 {
+				t.Fatalf("hole contains %v", hole.Data)
+			}
+		}
+	})
+	run(t, cl)
+}
+
+func TestSingleStripeFile(t *testing.T) {
+	cl, f := smallCluster(4)
+	c := cl.NewPFSClient(f, 0)
+	cl.K.Spawn("app", func(p *sim.Proc) {
+		file, err := c.Create(p, "/one", 1)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if len(file.Layout().OSTs) != 1 {
+			t.Fatalf("stripes = %d", len(file.Layout().OSTs))
+		}
+		data := make([]byte, 3*mb)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		file.Write(p, 0, netsim.BytesPayload(data))
+		got, err := file.Read(p, mb, mb)
+		if err != nil || !bytes.Equal(got.Data, data[mb:2*mb]) {
+			t.Fatalf("single-stripe read: %v", err)
+		}
+	})
+	run(t, cl)
+}

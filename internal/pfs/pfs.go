@@ -1,0 +1,133 @@
+// Package pfs implements the *baseline* for the paper's evaluation (§4): a
+// traditional parallel file system shaped like Lustre 1.x, built over the
+// same simulated network and disks as LWFS so that the comparison isolates
+// the architectural differences the paper isolates:
+//
+//   - Every file create and open goes through a centralized metadata
+//     server whose namespace updates serialize — the ceiling in Figure 10b
+//     that makes file-per-process checkpoints metadata-bound at scale.
+//   - Files are striped over object storage targets (OSTs), and writes are
+//     covered by per-object extent locks with callback revocation. A file
+//     shared by many writers ping-pongs those locks: each holder switch
+//     costs a revocation round trip, and lock-covered service forfeits the
+//     pull/disk pipelining a single-writer object enjoys — the "consistency
+//     and synchronization semantics get in the way" effect that halves
+//     shared-file throughput in Figure 9.
+//   - Clients are trusted (no capabilities), as Lustre trusts the client
+//     kernel (§5).
+package pfs
+
+import (
+	"errors"
+	"time"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+)
+
+// Well-known portals.
+const (
+	// MDSPortal is the metadata server's request portal.
+	MDSPortal portals.Index = 50
+	// OSTPortalBase is the first OST's request portal on a storage node;
+	// co-located OSTs are spaced by OSTPortalStride.
+	OSTPortalBase portals.Index = 52
+	// OSTPortalStride separates co-located OSTs.
+	OSTPortalStride = 2
+)
+
+// Errors reported by the file system.
+var (
+	ErrExists   = errors.New("pfs: file exists")
+	ErrNotFound = errors.New("pfs: no such file")
+)
+
+// Config tunes the baseline file system.
+type Config struct {
+	StripeUnit int64         // bytes per stripe chunk
+	MDSOpCost  time.Duration // metadata service time per namespace op
+	MDSThreads int           // MDS request concurrency (namespace still serializes)
+	OSTThreads int           // OST request service processes
+	ChunkSize  int64         // server-directed pull granularity at OSTs
+	RevokeCost time.Duration // extent-lock holder-switch callback cost
+	LockOpCost time.Duration // lock bookkeeping per covered request
+}
+
+// DefaultConfig returns the calibrated defaults (see DESIGN.md §7).
+func DefaultConfig() Config {
+	return Config{
+		StripeUnit: 1 << 20,
+		MDSOpCost:  1300 * time.Microsecond,
+		MDSThreads: 4,
+		OSTThreads: 4,
+		ChunkSize:  1 << 20,
+		RevokeCost: 1500 * time.Microsecond,
+		LockOpCost: 20 * time.Microsecond,
+	}
+}
+
+// OSTTarget names an OST: node plus request portal.
+type OSTTarget struct {
+	Node netsim.NodeID
+	Port portals.Index
+}
+
+// Layout describes a file's striping: which OSTs hold it and the object ID
+// each OST uses. Object IDs are derived from the inode so OSTs can
+// lazily instantiate backing objects (Lustre's precreated-object pool plays
+// the same role: creates don't touch OSTs synchronously).
+type Layout struct {
+	Inode      uint64
+	Size       int64 // known size at open (grows with writes)
+	StripeUnit int64
+	OSTs       []OSTTarget
+}
+
+// ObjectID returns the backing object ID for stripe index i.
+func (l Layout) ObjectID(i int) osd.ObjectID {
+	return osd.ObjectID(l.Inode<<16 | uint64(i))
+}
+
+// stripeRange maps a contiguous file range [off, off+length) onto one OST's
+// object: for round-robin striping, the piece owned by stripe index i is
+// itself contiguous in object space when the range is stripe-aligned, and
+// at most two runs otherwise. We return the exact set of (objOff, length)
+// runs for stripe i.
+type run struct {
+	objOff int64
+	len    int64
+}
+
+func stripeRuns(off, length, unit int64, stripes, i int) []run {
+	if length <= 0 {
+		return nil
+	}
+	var runs []run
+	m := int64(stripes)
+	// Walk stripe-unit windows overlapping [off, off+length).
+	first := off / unit
+	last := (off + length - 1) / unit
+	var cur *run
+	for w := first; w <= last; w++ {
+		if int(w%m) != i {
+			continue
+		}
+		lo := w * unit
+		hi := lo + unit
+		if lo < off {
+			lo = off
+		}
+		if hi > off+length {
+			hi = off + length
+		}
+		objOff := (w/m)*unit + (lo - w*unit)
+		if cur != nil && cur.objOff+cur.len == objOff {
+			cur.len += hi - lo
+			continue
+		}
+		runs = append(runs, run{objOff: objOff, len: hi - lo})
+		cur = &runs[len(runs)-1]
+	}
+	return runs
+}

@@ -1,0 +1,58 @@
+package portals
+
+import (
+	"testing"
+	"time"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+)
+
+// Wall-clock cost of one simulated RPC round trip (the unit the
+// experiment sweeps are made of).
+func BenchmarkSimulatedRPC(b *testing.B) {
+	k := sim.NewKernel()
+	net := netsim.New(k, 10*time.Microsecond)
+	cfg := netsim.Config{EgressBW: 230 << 20, IngressBW: 230 << 20}
+	client := NewEndpoint(net, net.AddNode("client", cfg))
+	server := NewEndpoint(net, net.AddNode("server", cfg))
+	Serve(server, 10, "echo", 2, func(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
+		return req, nil
+	})
+	c := NewCaller(client)
+	b.ResetTimer()
+	k.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(p, server.Node(), 10, i, 128, 128); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Wall-clock cost of one simulated one-sided Get of a 1 MiB chunk — the
+// inner loop of every server-directed transfer.
+func BenchmarkSimulatedGet(b *testing.B) {
+	k := sim.NewKernel()
+	net := netsim.New(k, 10*time.Microsecond)
+	cfg := netsim.Config{EgressBW: 230 << 20, IngressBW: 230 << 20}
+	a := NewEndpoint(net, net.AddNode("a", cfg))
+	c := NewEndpoint(net, net.AddNode("b", cfg))
+	c.Attach(5, 1, 0, &MD{Payload: netsim.SyntheticPayload(1 << 30)})
+	b.ResetTimer()
+	k.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Get(p, c.Node(), 5, 1, 0, 1<<20); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package portals
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+)
+
+// This file provides a small request/response convention over portals, used
+// by every LWFS and PFS control protocol: the client Puts a small request to
+// the service's portal index, carrying a reply token; the service Puts the
+// response back to the client's reply portal matched by that token.
+//
+// Bulk data never rides on RPC — it moves via one-sided Get/Put against the
+// memory descriptors named inside request headers (server-directed I/O).
+
+// replyPortal is the reserved portal index where all RPC responses land.
+const replyPortal Index = 1022
+
+// rpcRequest is the header of an RPC request message.
+type rpcRequest struct {
+	Token    uint64
+	From     netsim.NodeID
+	Body     interface{}
+	RespSize int64 // wire size the response should occupy (0 => header only)
+}
+
+// rpcResponse is the header of an RPC response message. Err travels as an
+// error value: message bodies are in-memory values throughout the simulated
+// network, so preserving error identity (errors.Is against the service
+// packages' sentinel errors) costs nothing and makes the client API honest.
+type rpcResponse struct {
+	Token uint64
+	Body  interface{}
+	Err   error
+}
+
+// Handler processes one RPC request on a service process. It may block
+// (sleep for service time, do disk I/O, issue portals Gets). The returned
+// body travels back to the caller.
+type Handler func(p *sim.Proc, from netsim.NodeID, req interface{}) (resp interface{}, err error)
+
+// Server dispatches RPC requests arriving at one portal index to a pool of
+// service processes. Threads models the server's internal concurrency: a
+// Lustre MDS with one service thread serializes every create; an LWFS
+// storage server with several threads overlaps network pulls with disk
+// writes across requests.
+type Server struct {
+	ep      *Endpoint
+	pt      Index
+	name    string
+	q       *sim.Mailbox
+	handler Handler
+	paused  bool
+
+	served int64
+}
+
+// Serve attaches an RPC server at (ep, pt) with the given number of service
+// processes.
+func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *Server {
+	if threads <= 0 {
+		panic(fmt.Sprintf("portals: server %q: need at least one thread", name))
+	}
+	k := ep.Kernel()
+	s := &Server{ep: ep, pt: pt, name: name, q: sim.NewMailbox(k, name+"/rpcq"), handler: handler}
+	ep.Attach(pt, 0, ^MatchBits(0), &MD{EQ: s.q})
+	for i := 0; i < threads; i++ {
+		k.SpawnDaemon(fmt.Sprintf("%s/worker%d", name, i), s.worker)
+	}
+	return s
+}
+
+// Served reports the number of requests completed.
+func (s *Server) Served() int64 { return s.served }
+
+// QueueLen reports requests waiting for a service thread.
+func (s *Server) QueueLen() int { return s.q.Len() }
+
+func (s *Server) worker(p *sim.Proc) {
+	for {
+		ev := s.q.Recv(p).(*Event)
+		req, ok := ev.Hdr.(rpcRequest)
+		if !ok {
+			continue
+		}
+		body, err := s.handler(p, req.From, req.Body)
+		resp := rpcResponse{Token: req.Token, Body: body, Err: err}
+		s.served++
+		size := HeaderSize + req.RespSize
+		s.ep.Put(req.From, replyPortal, MatchBits(req.Token), resp, netsim.SyntheticPayload(size-HeaderSize))
+	}
+}
+
+// ErrRPCTimeout is returned by CallTimeout when the deadline passes.
+var ErrRPCTimeout = errors.New("portals: rpc timeout")
+
+// Caller issues RPCs from an endpoint. Tokens come from the endpoint's
+// shared space, so any number of callers may coexist on one node.
+type Caller struct {
+	ep *Endpoint
+}
+
+// NewCaller creates a caller on ep.
+func NewCaller(ep *Endpoint) *Caller { return &Caller{ep: ep} }
+
+// Endpoint returns the caller's endpoint.
+func (c *Caller) Endpoint() *Endpoint { return c.ep }
+
+// Call sends req (occupying reqSize bytes on the wire, in addition to the
+// portals header) to the server at (target, pt) and blocks p for the
+// response. respSize tells the server how large its answer is on the wire.
+func (c *Caller) Call(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64) (interface{}, error) {
+	return c.call(p, target, pt, req, reqSize, respSize, 0)
+}
+
+// CallTimeout is Call with a deadline; it returns ErrRPCTimeout if no
+// response arrives in time (the response, if it arrives later, is dropped).
+func (c *Caller) CallTimeout(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64, timeout time.Duration) (interface{}, error) {
+	return c.call(p, target, pt, req, reqSize, respSize, timeout)
+}
+
+func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64, timeout time.Duration) (interface{}, error) {
+	token := c.ep.nextTok()
+	mb := sim.NewMailbox(c.ep.Kernel(), fmt.Sprintf("rpc-reply-%d", token))
+	me := c.ep.AttachOnce(replyPortal, MatchBits(token), 0, &MD{EQ: mb})
+	c.ep.Put(target, pt, 0, rpcRequest{Token: token, From: c.ep.Node(), Body: req, RespSize: respSize},
+		netsim.SyntheticPayload(reqSize))
+
+	var ev interface{}
+	if timeout > 0 {
+		v, ok := mb.RecvTimeout(p, timeout)
+		if !ok {
+			me.Unlink()
+			return nil, ErrRPCTimeout
+		}
+		ev = v
+	} else {
+		ev = mb.Recv(p)
+	}
+	resp := ev.(*Event).Hdr.(rpcResponse)
+	return resp.Body, resp.Err
+}

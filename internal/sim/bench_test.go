@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// These benchmarks measure the simulator itself (wall-clock cost per
+// simulated action), not any simulated system: they bound how large an
+// experiment the kernel can push through per second of real time.
+
+func BenchmarkEventDispatch(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		k.After(time.Duration(i), func() { n++ })
+	}
+	b.ResetTimer()
+	if err := k.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events", n)
+	}
+}
+
+func BenchmarkProcessSwitch(b *testing.B) {
+	// Ping-pong between two processes: two parks/unparks per iteration.
+	k := NewKernel()
+	ping := NewMailbox(k, "ping")
+	pong := NewMailbox(k, "pong")
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Send(i)
+			pong.Recv(p)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Recv(p)
+			pong.Send(i)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFIFOServerSchedule(b *testing.B) {
+	k := NewKernel()
+	s := NewFIFOServer(k, "s")
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Microsecond, nil)
+	}
+	b.ResetTimer()
+	if err := k.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSpawnExit(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.Spawn("p", func(p *Proc) {})
+	}
+	b.ResetTimer()
+	if err := k.Run(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}

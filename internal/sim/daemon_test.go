@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDaemonBlockedForeverIsNotDeadlock(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "queue")
+	served := 0
+	k.SpawnDaemon("server", func(p *Proc) {
+		for {
+			m.Recv(p)
+			served++
+		}
+	})
+	k.Spawn("client", func(p *Proc) {
+		m.Send(1)
+		m.Send(2)
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run with idle daemon: %v", err)
+	}
+	if served != 2 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestNonDaemonStillDeadlocks(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "never")
+	k.SpawnDaemon("daemon", func(p *Proc) {
+		for {
+			m.Recv(p)
+		}
+	})
+	other := NewMailbox(k, "other")
+	k.Spawn("stuck", func(p *Proc) { other.Recv(p) })
+	err := k.Run(MaxTime)
+	if err == nil {
+		t.Fatal("expected deadlock for non-daemon")
+	}
+	dl, ok := err.(*DeadlockError)
+	if !ok || len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Fatalf("deadlock report: %v", err)
+	}
+}
+
+func TestDaemonStillRunsScheduledWork(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.SpawnDaemon("ticker", func(p *Proc) {
+		p.Sleep(time.Second)
+		woke = p.Now()
+		// then parks forever
+		NewMailbox(k, "x").Recv(p)
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(time.Second) {
+		t.Fatalf("daemon woke at %v", woke)
+	}
+}
+
+func TestRunLimitWithDaemonsOnly(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	if err := k.Run(Time(3500 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+}

@@ -1,0 +1,339 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Simulated processes are goroutines, but the kernel runs exactly one at a
+// time: control passes from the kernel to the process whose wake-up event is
+// earliest, and back to the kernel when the process blocks (Sleep, Recv,
+// Acquire, ...) or exits. Virtual time advances only between events, so a
+// simulation is deterministic: the same inputs produce the same event order
+// and the same virtual-time measurements, independent of the Go scheduler.
+//
+// The kernel is the substrate for every other package in this repository:
+// the network model (internal/netsim), the Portals messaging layer
+// (internal/portals), storage devices (internal/osd) and all LWFS and PFS
+// services are simulated processes exchanging events through it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration reports the time since the zero instant as a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// MaxTime is the largest representable instant.
+const MaxTime = Time(math.MaxInt64)
+
+// event is a scheduled callback. Events with equal instants fire in the
+// order they were scheduled (seq breaks ties), which keeps runs reproducible.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	canc *bool // optional cancellation flag; skipped when *canc is true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; call NewKernel.
+type Kernel struct {
+	now            Time
+	events         eventHeap
+	seq            uint64
+	procs          map[*Proc]struct{}
+	blocked        int // processes parked waiting for an event
+	blockedDaemons int // of those, daemons (exempt from deadlock detection)
+	done           chan struct{}
+	failure        error
+	stopped        bool
+	tracef         func(format string, args ...interface{})
+}
+
+// NewKernel returns a kernel with an empty event queue at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs: make(map[*Proc]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetTrace installs a trace function that receives a line per significant
+// kernel action. Pass nil to disable tracing.
+func (k *Kernel) SetTrace(f func(format string, args ...interface{})) { k.tracef = f }
+
+func (k *Kernel) trace(format string, args ...interface{}) {
+	if k.tracef != nil {
+		k.tracef(format, args...)
+	}
+}
+
+// At schedules fn to run in kernel context at instant t. Scheduling in the
+// past is an error; fn runs immediately at the current instant instead.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// afterCancelable schedules fn and returns a cancel func usable before the
+// event fires (e.g. timeouts that are beaten by the thing they guard).
+func (k *Kernel) afterCancelable(d time.Duration, fn func()) (cancel func()) {
+	canceled := false
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now.Add(d), seq: k.seq, fn: fn, canc: &canceled})
+	return func() { canceled = true }
+}
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. All blocking methods (Sleep, Mailbox.Recv, Resource.Acquire, ...)
+// must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	exited bool
+	daemon bool
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process named name running fn, starting at the current
+// instant (or later if the kernel is busy with earlier events). fn runs on
+// its own goroutine but under the kernel's cooperative schedule.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	k.At(k.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					k.failProc(p, r)
+					return
+				}
+				p.exited = true
+				delete(k.procs, p)
+				k.done <- struct{}{}
+			}()
+			<-p.resume // wait for the kernel's first hand-off
+			fn(p)
+		}()
+		// Hand control to the new goroutine.
+		p.resume <- struct{}{}
+		<-k.done
+	})
+	return p
+}
+
+// SpawnDaemon is Spawn for service processes that run for the lifetime of
+// the simulation (RPC workers, lock managers). A daemon blocked forever does
+// not count as a deadlock: when only daemons remain parked and the event
+// queue is empty, Run returns normally.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := k.Spawn(name, fn)
+	p.daemon = true
+	return p
+}
+
+// SpawnAt is Spawn but the process starts at instant t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	k.At(t, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					k.failProc(p, r)
+					return
+				}
+				p.exited = true
+				delete(k.procs, p)
+				k.done <- struct{}{}
+			}()
+			<-p.resume
+			fn(p)
+		}()
+		p.resume <- struct{}{}
+		<-k.done
+	})
+	return p
+}
+
+// failProc records a process panic so Run can surface it, and unblocks the
+// kernel loop.
+func (k *Kernel) failProc(p *Proc, r interface{}) {
+	if k.failure == nil {
+		k.failure = fmt.Errorf("sim: process %q panicked at %v: %v\n%s",
+			p.name, k.now, r, debug.Stack())
+	}
+	p.exited = true
+	delete(k.procs, p)
+	k.done <- struct{}{}
+}
+
+// park blocks the calling process until another event resumes it. It must
+// only be called from p's goroutine. The caller is responsible for having
+// arranged a wake-up (a timer event, a waiter registration, ...).
+func (p *Proc) park() {
+	p.k.blocked++
+	if p.daemon {
+		p.k.blockedDaemons++
+	}
+	p.k.done <- struct{}{}
+	<-p.resume
+}
+
+// unpark schedules p to resume at the current instant. Called from kernel
+// context or from another process's execution (which is also, transitively,
+// kernel context).
+func (p *Proc) unpark() {
+	k := p.k
+	k.At(k.now, func() {
+		if p.exited {
+			return
+		}
+		k.blocked--
+		if p.daemon {
+			k.blockedDaemons--
+		}
+		p.resume <- struct{}{}
+		<-k.done
+	})
+}
+
+// unparkAt schedules p to resume at instant t.
+func (p *Proc) unparkAt(t Time) {
+	k := p.k
+	k.At(t, func() {
+		if p.exited {
+			return
+		}
+		k.blocked--
+		if p.daemon {
+			k.blockedDaemons--
+		}
+		p.resume <- struct{}{}
+		<-k.done
+	})
+}
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.unparkAt(p.k.now.Add(d))
+	p.park()
+}
+
+// Yield lets every event scheduled at the current instant (so far) run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// ErrDeadlock is returned (wrapped) by Run when processes remain blocked but
+// no events are pending.
+type DeadlockError struct {
+	At      Time
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked forever: %v",
+		e.At, len(e.Blocked), e.Blocked)
+}
+
+// Run drains the event queue until it is empty or until limit is reached
+// (use MaxTime for no limit). It returns an error if any process panicked or
+// if the simulation deadlocked (blocked processes with no pending events).
+func (k *Kernel) Run(limit Time) error {
+	for len(k.events) > 0 {
+		if k.failure != nil {
+			return k.failure
+		}
+		e := heap.Pop(&k.events).(*event)
+		if e.canc != nil && *e.canc {
+			continue
+		}
+		if e.at > limit {
+			// Push back so a later Run can continue.
+			heap.Push(&k.events, e)
+			k.now = limit
+			return nil
+		}
+		k.now = e.at
+		e.fn()
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.blocked > k.blockedDaemons {
+		var names []string
+		for p := range k.procs {
+			if !p.exited && !p.daemon {
+				names = append(names, p.name)
+			}
+		}
+		sort.Strings(names)
+		return &DeadlockError{At: k.now, Blocked: names}
+	}
+	return nil
+}
+
+// MustRun is Run(MaxTime) but panics on error. Convenient in examples.
+func (k *Kernel) MustRun() {
+	if err := k.Run(MaxTime); err != nil {
+		panic(err)
+	}
+}

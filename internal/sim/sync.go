@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mailbox is an unbounded FIFO message queue connecting simulated processes.
+// Send never blocks; Recv blocks the calling process until a message is
+// available. A Mailbox may have many senders and many receivers; messages go
+// to receivers in FIFO order of their arrival at the mailbox.
+type Mailbox struct {
+	k       *Kernel
+	name    string
+	queue   []interface{}
+	waiters []*mboxWaiter
+}
+
+type mboxWaiter struct {
+	p        *Proc
+	msg      interface{}
+	ok       bool
+	timedOut bool
+	cancelTO func()
+}
+
+// NewMailbox creates a mailbox attached to k. The name appears in traces and
+// deadlock reports.
+func NewMailbox(k *Kernel, name string) *Mailbox {
+	return &Mailbox{k: k, name: name}
+}
+
+// Name returns the mailbox's name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len reports the number of queued (undelivered) messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Send enqueues msg at the current instant. If a receiver is waiting, it is
+// handed the message and resumed. Send may be called from kernel context or
+// from any process.
+func (m *Mailbox) Send(msg interface{}) {
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.msg, w.ok = msg, true
+		if w.cancelTO != nil {
+			w.cancelTO()
+		}
+		w.p.unpark()
+		return
+	}
+	m.queue = append(m.queue, msg)
+}
+
+// SendAfter enqueues msg d after the current instant (a one-way message
+// delay without modeling the medium).
+func (m *Mailbox) SendAfter(d time.Duration, msg interface{}) {
+	m.k.After(d, func() { m.Send(msg) })
+}
+
+// Recv blocks p until a message is available and returns it.
+func (m *Mailbox) Recv(p *Proc) interface{} {
+	if len(m.queue) > 0 {
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		return msg
+	}
+	w := &mboxWaiter{p: p}
+	m.waiters = append(m.waiters, w)
+	p.park()
+	if !w.ok {
+		panic(fmt.Sprintf("sim: mailbox %q: process resumed without a message", m.name))
+	}
+	return w.msg
+}
+
+// RecvTimeout is Recv but gives up after d, returning ok=false.
+func (m *Mailbox) RecvTimeout(p *Proc, d time.Duration) (msg interface{}, ok bool) {
+	if len(m.queue) > 0 {
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		return msg, true
+	}
+	w := &mboxWaiter{p: p}
+	w.cancelTO = m.k.afterCancelable(d, func() {
+		// Remove w from the waiter list and wake it empty-handed.
+		for i, x := range m.waiters {
+			if x == w {
+				m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+				break
+			}
+		}
+		w.timedOut = true
+		w.p.unpark()
+	})
+	m.waiters = append(m.waiters, w)
+	p.park()
+	if w.timedOut {
+		return nil, false
+	}
+	return w.msg, w.ok
+}
+
+// TryRecv returns a queued message without blocking, or ok=false.
+func (m *Mailbox) TryRecv() (msg interface{}, ok bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	msg = m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Resource is a counted resource (disk arms, NIC DMA engines, server service
+// threads) with FIFO waiters. Acquire(n) blocks until n units are free.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	avail    int64
+	waiters  []*resWaiter
+
+	// Busy-time accounting for utilization reports.
+	busySince Time
+	busyAccum time.Duration
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource creates a resource with the given capacity (units are caller
+// defined: bytes in flight, concurrent ops, ...).
+func NewResource(k *Kernel, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{k: k, name: name, capacity: capacity, avail: capacity}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// Available returns the currently free units.
+func (r *Resource) Available() int64 { return r.avail }
+
+// QueueLen reports the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks p until n units are available and claims them.
+// n must be in (0, capacity].
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q: acquire %d of capacity %d", r.name, n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.avail >= n {
+		r.take(n)
+		return
+	}
+	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	p.park()
+}
+
+// TryAcquire claims n units if they are immediately available.
+func (r *Resource) TryAcquire(n int64) bool {
+	if len(r.waiters) == 0 && r.avail >= n {
+		r.take(n)
+		return true
+	}
+	return false
+}
+
+func (r *Resource) take(n int64) {
+	if r.avail == r.capacity {
+		r.busySince = r.k.now
+	}
+	r.avail -= n
+}
+
+// Release returns n units and resumes as many FIFO waiters as now fit.
+func (r *Resource) Release(n int64) {
+	r.avail += n
+	if r.avail > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q: release beyond capacity", r.name))
+	}
+	if r.avail == r.capacity {
+		r.busyAccum += r.k.now.Sub(r.busySince)
+	}
+	for len(r.waiters) > 0 && r.waiters[0].n <= r.avail {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.take(w.n)
+		w.p.unpark()
+	}
+}
+
+// Use acquires n units, holds them for d, then releases them. It models a
+// service time on a contended resource (e.g. a disk transferring a chunk).
+func (r *Resource) Use(p *Proc, n int64, d time.Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// BusyTime reports the accumulated virtual time during which at least one
+// unit was claimed. If the resource is busy now, time up to Now is included.
+func (r *Resource) BusyTime() time.Duration {
+	t := r.busyAccum
+	if r.avail < r.capacity {
+		t += r.k.now.Sub(r.busySince)
+	}
+	return t
+}
+
+// WaitGroup counts outstanding simulated tasks; Wait blocks until the count
+// reaches zero. Unlike sync.WaitGroup it is single-threaded (kernel order).
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, p := range ws {
+			p.unpark()
+		}
+	}
+}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+// Barrier releases all participants once n of them have arrived, then
+// resets for reuse. It models, e.g., an MPI_Barrier across client processes.
+type Barrier struct {
+	n       int
+	arrived []*Proc
+	gen     int
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{n: n}
+}
+
+// Await blocks p until n participants (including p) have arrived.
+func (b *Barrier) Await(p *Proc) {
+	if len(b.arrived)+1 == b.n {
+		arrived := b.arrived
+		b.arrived = nil
+		b.gen++
+		for _, q := range arrived {
+			q.unpark()
+		}
+		return
+	}
+	b.arrived = append(b.arrived, p)
+	p.park()
+}
+
+// Future is a one-shot value container: one producer completes it, any
+// number of consumers Wait for it. Completing twice panics.
+type Future struct {
+	done    bool
+	val     interface{}
+	err     error
+	waiters []*Proc
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture() *Future { return &Future{} }
+
+// Complete resolves the future and wakes all waiters.
+func (f *Future) Complete(val interface{}, err error) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val, f.err = val, err
+	ws := f.waiters
+	f.waiters = nil
+	for _, p := range ws {
+		p.unpark()
+	}
+}
+
+// Done reports whether the future has resolved.
+func (f *Future) Done() bool { return f.done }
+
+// Wait blocks p until the future resolves and returns its value and error.
+func (f *Future) Wait(p *Proc) (interface{}, error) {
+	if !f.done {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	return f.val, f.err
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders series as a terminal scatter/line chart so lwfsbench
+// can show the *shape* of a reproduced figure, not just its numbers. One
+// glyph per series; x positions are spread by rank (the paper's client
+// counts are log-ish spaced), y is linear or log10.
+func AsciiPlot(w io.Writer, title, xlabel, ylabel string, series []Series, logY bool) {
+	const width, height = 64, 16
+	if len(series) == 0 {
+		return
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Collect the x domain (union, sorted by first series' order) and the
+	// y range.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			if !seen[pt.X] {
+				seen[pt.X] = true
+				xs = append(xs, pt.X)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	tr := func(y float64) float64 {
+		if logY {
+			if y <= 0 {
+				return 0
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			v := tr(pt.Mean)
+			if v < yMin {
+				yMin = v
+			}
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if !logY && yMin > 0 {
+		yMin = 0 // anchor linear plots at zero like the paper's axes
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xcol := func(x float64) int {
+		for i, v := range xs {
+			if v == x {
+				if len(xs) == 1 {
+					return 0
+				}
+				return i * (width - 1) / (len(xs) - 1)
+			}
+		}
+		return 0
+	}
+	yrow := func(y float64) int {
+		frac := (tr(y) - yMin) / (yMax - yMin)
+		r := height - 1 - int(math.Round(frac*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, pt := range s.Points {
+			grid[yrow(pt.Mean)][xcol(pt.X)] = g
+		}
+	}
+
+	scale := ""
+	if logY {
+		scale = " (log)"
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	top, bottom := yMax, yMin
+	if logY {
+		top, bottom = math.Pow(10, yMax), math.Pow(10, yMin)
+	}
+	fmt.Fprintf(w, "%10.0f │%s\n", top, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(w, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%10.0f │%s\n", bottom, string(grid[height-1]))
+	fmt.Fprintf(w, "%10s └%s\n", "", strings.Repeat("─", width))
+	// X tick labels at both ends plus the middle.
+	lo := fmt.Sprintf("%g", xs[0])
+	hi := fmt.Sprintf("%g", xs[len(xs)-1])
+	mid := fmt.Sprintf("%g", xs[len(xs)/2])
+	pad := width - len(lo) - len(mid) - len(hi)
+	if pad < 2 {
+		pad = 2
+	}
+	fmt.Fprintf(w, "%10s  %s%s%s%s%s   (%s; y: %s%s)\n", "",
+		lo, strings.Repeat(" ", pad/2), mid, strings.Repeat(" ", pad-pad/2), hi, xlabel, ylabel, scale)
+	for si, s := range series {
+		fmt.Fprintf(w, "%10s  %c %s\n", "", glyphs[si%len(glyphs)], s.Name)
+	}
+}

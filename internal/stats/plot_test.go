@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoSeries() []Series {
+	var a, b Series
+	a.Name = "flat"
+	b.Name = "rising"
+	for _, x := range []float64{1, 2, 4, 8} {
+		var s1, s2 Sample
+		s1.Add(100)
+		s2.Add(100 * x)
+		a.Add(x, &s1)
+		b.Add(x, &s2)
+	}
+	return []Series{a, b}
+}
+
+func TestAsciiPlotLinear(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiPlot(&buf, "demo", "x", "y", demoSeries(), false)
+	out := buf.String()
+	for _, want := range []string{"demo", "* flat", "o rising", "└", "800"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The flat series renders near the bottom, the rising one reaches the top
+	// row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "o") {
+		t.Fatalf("rising series missing from top row:\n%s", out)
+	}
+}
+
+func TestAsciiPlotLog(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiPlot(&buf, "logdemo", "clients", "ops/s", demoSeries(), true)
+	out := buf.String()
+	if !strings.Contains(out, "(log)") {
+		t.Fatalf("log marker missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	AsciiPlot(&buf, "none", "x", "y", nil, false) // no panic, no output
+	if buf.Len() != 0 {
+		t.Fatalf("empty plot produced output")
+	}
+	var one Series
+	var s Sample
+	s.Add(5)
+	one.Name = "single"
+	one.Add(3, &s)
+	AsciiPlot(&buf, "single", "x", "y", []Series{one}, false)
+	if !strings.Contains(buf.String(), "single") {
+		t.Fatalf("degenerate plot:\n%s", buf.String())
+	}
+}

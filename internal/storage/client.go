@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"fmt"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/txn"
+)
+
+// Wire sizes (bytes) for storage requests and responses, excluding bulk data.
+const (
+	reqWireSize  = 256
+	respWireSize = 64
+)
+
+// Client issues storage requests from one node. Data-transfer match bits
+// come from the endpoint's shared token space, so several client processes
+// can share a node.
+type Client struct {
+	ep *portals.Caller
+}
+
+// NewClient creates a storage client sending from caller's endpoint.
+func NewClient(caller *portals.Caller) *Client { return &Client{ep: caller} }
+
+func (c *Client) bits() portals.MatchBits {
+	return portals.MatchBits(c.ep.Endpoint().NextToken())
+}
+
+// Target names a storage server: a node and RPC portal pair.
+type Target struct {
+	Node netsim.NodeID
+	Port portals.Index
+}
+
+// TargetOf extracts the server half of an ObjRef.
+func TargetOf(ref ObjRef) Target { return Target{Node: ref.Node, Port: ref.Port} }
+
+// Create allocates a new object in container cid on the target server.
+// Requires an OpCreate capability for the container.
+func (c *Client) Create(p *sim.Proc, t Target, cap authz.Capability, cid authz.ContainerID) (ObjRef, error) {
+	return c.CreateTxn(p, t, cap, cid, 0)
+}
+
+// CreateTxn is Create inside a distributed transaction: the object is
+// removed again if the transaction aborts. The caller must also enlist the
+// server's TxnEndpoint with the coordinator.
+func (c *Client) CreateTxn(p *sim.Proc, t Target, cap authz.Capability, cid authz.ContainerID, id txn.ID) (ObjRef, error) {
+	v, err := c.ep.Call(p, t.Node, t.Port, createReq{Cap: cap, Container: cid, Txn: id}, reqWireSize, respWireSize)
+	if err != nil {
+		return ObjRef{}, err
+	}
+	return v.(ObjRef), nil
+}
+
+// Write stores payload at offset off of the referenced object using the
+// server-directed protocol: the data is exposed locally and the server
+// pulls it. Requires an OpWrite capability. It returns the bytes written.
+func (c *Client) Write(p *sim.Proc, ref ObjRef, cap authz.Capability, off int64, payload netsim.Payload) (int64, error) {
+	bits := c.bits()
+	me := c.ep.Endpoint().Attach(ClientDataPortal, bits, 0, &portals.MD{Payload: payload})
+	defer me.Unlink()
+	v, err := c.ep.Call(p, ref.Node, ref.Port, writeReq{
+		Cap:        cap,
+		ID:         ref.ID,
+		Off:        off,
+		Len:        payload.Size,
+		Bits:       bits,
+		DataPortal: ClientDataPortal,
+	}, reqWireSize, respWireSize)
+	if err != nil {
+		if n, ok := v.(int64); ok {
+			return n, err
+		}
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// Read fetches [off, off+length) of the referenced object. The server
+// pushes the data into a posted receive buffer; Read reassembles it.
+// Requires an OpRead capability. Short reads at end-of-object return the
+// available bytes.
+func (c *Client) Read(p *sim.Proc, ref ObjRef, cap authz.Capability, off, length int64) (netsim.Payload, error) {
+	bits := c.bits()
+	eq := sim.NewMailbox(c.ep.Endpoint().Kernel(), "read-data")
+	me := c.ep.Endpoint().Attach(ClientDataPortal, bits, 0, &portals.MD{EQ: eq})
+	defer me.Unlink()
+	v, err := c.ep.Call(p, ref.Node, ref.Port, readReq{
+		Cap:        cap,
+		ID:         ref.ID,
+		Off:        off,
+		Len:        length,
+		Bits:       bits,
+		DataPortal: ClientDataPortal,
+	}, reqWireSize, respWireSize)
+	if err != nil {
+		return netsim.Payload{}, err
+	}
+	resp := v.(readResp)
+	// All data Puts preceded the response through the same FIFO network
+	// path, so exactly resp.Chunks events are already queued.
+	if eq.Len() != resp.Chunks {
+		return netsim.Payload{}, fmt.Errorf("storage: expected %d chunks, have %d", resp.Chunks, eq.Len())
+	}
+	out := netsim.Payload{Size: resp.Len}
+	var buf []byte
+	for i := 0; i < resp.Chunks; i++ {
+		ev := eq.Recv(p).(*portals.Event)
+		chunkOff := ev.Hdr.(int64)
+		if ev.Payload.Data != nil {
+			if buf == nil {
+				buf = make([]byte, resp.Len)
+			}
+			copy(buf[chunkOff:], ev.Payload.Data)
+		}
+	}
+	out.Data = buf
+	return out, nil
+}
+
+// Truncate sets the object's logical size. Requires an OpWrite capability.
+func (c *Client) Truncate(p *sim.Proc, ref ObjRef, cap authz.Capability, size int64) error {
+	_, err := c.ep.Call(p, ref.Node, ref.Port, truncateReq{Cap: cap, ID: ref.ID, Size: size}, reqWireSize, respWireSize)
+	return err
+}
+
+// Remove deletes the referenced object. Requires an OpRemove capability.
+func (c *Client) Remove(p *sim.Proc, ref ObjRef, cap authz.Capability) error {
+	_, err := c.ep.Call(p, ref.Node, ref.Port, removeReq{Cap: cap, ID: ref.ID}, reqWireSize, respWireSize)
+	return err
+}
+
+// Stat returns object metadata. Requires an OpRead or OpList capability.
+func (c *Client) Stat(p *sim.Proc, ref ObjRef, cap authz.Capability) (osd.Stat, error) {
+	v, err := c.ep.Call(p, ref.Node, ref.Port, statReq{Cap: cap, ID: ref.ID}, reqWireSize, respWireSize)
+	if err != nil {
+		return osd.Stat{}, err
+	}
+	return v.(osd.Stat), nil
+}
+
+// List enumerates the objects of container cid on the target server.
+// Requires an OpList capability.
+func (c *Client) List(p *sim.Proc, t Target, cap authz.Capability, cid authz.ContainerID) ([]osd.ObjectID, error) {
+	v, err := c.ep.Call(p, t.Node, t.Port, listReq{Cap: cap, Container: cid}, reqWireSize, 1024)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]osd.ObjectID), nil
+}
+
+// Sync flushes the target server's device; when it returns, every previous
+// write on that server is durable. Any valid capability authorizes it.
+func (c *Client) Sync(p *sim.Proc, t Target, cap authz.Capability) error {
+	_, err := c.ep.Call(p, t.Node, t.Port, syncReq{Cap: cap}, reqWireSize, respWireSize)
+	return err
+}
+
+// SetAttr sets a named attribute on an object. Requires OpWrite.
+func (c *Client) SetAttr(p *sim.Proc, ref ObjRef, cap authz.Capability, key, value string) error {
+	_, err := c.ep.Call(p, ref.Node, ref.Port, setAttrReq{Cap: cap, ID: ref.ID, Key: key, Value: value},
+		reqWireSize+int64(len(key)+len(value)), respWireSize)
+	return err
+}
+
+// GetAttr reads a named attribute. Requires OpRead.
+func (c *Client) GetAttr(p *sim.Proc, ref ObjRef, cap authz.Capability, key string) (string, error) {
+	v, err := c.ep.Call(p, ref.Node, ref.Port, getAttrReq{Cap: cap, ID: ref.ID, Key: key},
+		reqWireSize+int64(len(key)), 256)
+	if err != nil {
+		return "", err
+	}
+	return v.(string), nil
+}

@@ -1,0 +1,148 @@
+package storage_test
+
+import (
+	"testing"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/testrig"
+	"lwfs/internal/txn"
+)
+
+// TestCrashRecoveryCleansOrphans simulates a storage-server crash between
+// a transactional create and its commit: the reborn server replays the
+// journal, presumes abort for the in-flight transaction, and removes the
+// orphaned object — while objects from committed transactions survive.
+func TestCrashRecoveryCleansOrphans(t *testing.T) {
+	r := testrig.New(3)
+	dev := osd.NewDevice(r.K, "osd1", osd.DefaultDiskParams())
+	srv := storage.Start(r.Eps[1], dev, r.AuthzClient(1), storage.DefaultRPCPort, storage.DefaultConfig())
+	sc := storage.NewClient(r.Caller(2))
+	co := txn.NewCoordinator(r.Caller(2))
+
+	var committed, orphan storage.ObjRef
+	r.Go("client", func(p *sim.Proc) {
+		s := newSession(t, p, r, 2, authz.OpCreate, authz.OpWrite, authz.OpRead)
+		tgt := storage.Target{Node: srv.Node(), Port: srv.RPCPort()}
+
+		// Transaction 1: create + commit.
+		tx1 := co.Begin()
+		tx1.Enlist(srv.TxnEndpoint())
+		var err error
+		committed, err = sc.CreateTxn(p, tgt, s.caps[authz.OpCreate], s.cid, tx1.ID)
+		if err != nil {
+			t.Fatalf("create 1: %v", err)
+		}
+		if _, err := sc.Write(p, committed, s.caps[authz.OpWrite], 0, netsim.BytesPayload([]byte("safe"))); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := tx1.Commit(p); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+
+		// Transaction 2: create, then the server "crashes" before commit.
+		tx2 := co.Begin()
+		tx2.Enlist(srv.TxnEndpoint())
+		orphan, err = sc.CreateTxn(p, tgt, s.caps[authz.OpCreate], s.cid, tx2.ID)
+		if err != nil {
+			t.Fatalf("create 2: %v", err)
+		}
+		// No commit: the coordinator dies with the server's memory.
+	})
+	r.Run(t)
+
+	// "Crash": all in-memory server state is gone. Rebuild a server over
+	// the same device (different portal — the old attachments are debris
+	// of the dead incarnation) and recover.
+	srv2 := storage.Start(r.Eps[1], dev, r.AuthzClient(1),
+		storage.DefaultRPCPort+portals.Index(storage.PortalStride), storage.DefaultConfig())
+	var removed int
+	r.Go("recovery", func(p *sim.Proc) {
+		var err error
+		removed, err = srv2.Recover(p)
+		if err != nil {
+			t.Errorf("recover: %v", err)
+		}
+	})
+	r.Run(t)
+
+	if removed != 1 {
+		t.Fatalf("recovery removed %d objects, want 1", removed)
+	}
+	if _, err := dev.Stat(orphan.ID); err == nil {
+		t.Fatal("orphaned object survived recovery")
+	}
+	st, err := dev.Stat(committed.ID)
+	if err != nil || st.Size != 4 {
+		t.Fatalf("committed object damaged: %+v %v", st, err)
+	}
+}
+
+// TestRecoveryIdempotent: running recovery twice is harmless.
+func TestRecoveryIdempotent(t *testing.T) {
+	r := testrig.New(3)
+	dev := osd.NewDevice(r.K, "osd1", osd.DefaultDiskParams())
+	srv := storage.Start(r.Eps[1], dev, r.AuthzClient(1), storage.DefaultRPCPort, storage.DefaultConfig())
+	sc := storage.NewClient(r.Caller(2))
+	co := txn.NewCoordinator(r.Caller(2))
+	r.Go("client", func(p *sim.Proc) {
+		s := newSession(t, p, r, 2, authz.OpCreate)
+		tgt := storage.Target{Node: srv.Node(), Port: srv.RPCPort()}
+		tx := co.Begin()
+		tx.Enlist(srv.TxnEndpoint())
+		if _, err := sc.CreateTxn(p, tgt, s.caps[authz.OpCreate], s.cid, tx.ID); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		// crash before commit
+	})
+	r.Run(t)
+	srv2 := storage.Start(r.Eps[1], dev, r.AuthzClient(1),
+		storage.DefaultRPCPort+portals.Index(storage.PortalStride), storage.DefaultConfig())
+	var first, second int
+	r.Go("recovery", func(p *sim.Proc) {
+		first, _ = srv2.Recover(p)
+		second, _ = srv2.Recover(p)
+	})
+	r.Run(t)
+	if first != 1 || second != 0 {
+		t.Fatalf("recover runs removed %d then %d, want 1 then 0", first, second)
+	}
+}
+
+// TestRecoveryWithCleanJournal: a device whose transactions all resolved
+// has nothing to do.
+func TestRecoveryWithCleanJournal(t *testing.T) {
+	r := testrig.New(3)
+	dev := osd.NewDevice(r.K, "osd1", osd.DefaultDiskParams())
+	srv := storage.Start(r.Eps[1], dev, r.AuthzClient(1), storage.DefaultRPCPort, storage.DefaultConfig())
+	sc := storage.NewClient(r.Caller(2))
+	co := txn.NewCoordinator(r.Caller(2))
+	r.Go("client", func(p *sim.Proc) {
+		s := newSession(t, p, r, 2, authz.OpCreate)
+		tgt := storage.Target{Node: srv.Node(), Port: srv.RPCPort()}
+		tx := co.Begin()
+		tx.Enlist(srv.TxnEndpoint())
+		if _, err := sc.CreateTxn(p, tgt, s.caps[authz.OpCreate], s.cid, tx.ID); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := tx.Commit(p); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	})
+	r.Run(t)
+	srv2 := storage.Start(r.Eps[1], dev, r.AuthzClient(1),
+		storage.DefaultRPCPort+portals.Index(storage.PortalStride), storage.DefaultConfig())
+	var removed int
+	r.Go("recovery", func(p *sim.Proc) { removed, _ = srv2.Recover(p) })
+	r.Run(t)
+	if removed != 0 {
+		t.Fatalf("clean journal removed %d objects", removed)
+	}
+	if dev.NumObjects() != 2 { // the object + the journal
+		t.Fatalf("objects = %d", dev.NumObjects())
+	}
+}

@@ -1,0 +1,188 @@
+package txn_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+	"lwfs/internal/testrig"
+	"lwfs/internal/txn"
+)
+
+func TestLockQueueLenObservable(t *testing.T) {
+	r := testrig.New(5)
+	ls := bootLocks(r, 1)
+	holder := txn.NewLockClient(r.Eps[2], r.Eps[1].Node(), 40, 1)
+	var peak int
+	r.Go("holder", func(p *sim.Proc) {
+		holder.Lock(p, "x", txn.Exclusive)
+		p.Sleep(20 * time.Millisecond)
+		if q := ls.QueueLen("x"); q > peak {
+			peak = q
+		}
+		holder.Unlock(p, "x")
+	})
+	for i := 0; i < 2; i++ {
+		lc := txn.NewLockClient(r.Eps[3+i], r.Eps[1].Node(), 40, 1)
+		r.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			p.Sleep(time.Millisecond)
+			lc.Lock(p, "x", txn.Exclusive)
+			lc.Unlock(p, "x")
+		})
+	}
+	r.Run(t)
+	if peak != 2 {
+		t.Fatalf("peak queue = %d, want 2", peak)
+	}
+	if ls.QueueLen("x") != 0 {
+		t.Fatalf("queue not drained")
+	}
+}
+
+func TestReentrantSharedLock(t *testing.T) {
+	r := testrig.New(3)
+	bootLocks(r, 1)
+	lc := txn.NewLockClient(r.Eps[2], r.Eps[1].Node(), 40, 7)
+	r.Go("c", func(p *sim.Proc) {
+		if err := lc.Lock(p, "f", txn.Shared); err != nil {
+			t.Errorf("lock 1: %v", err)
+		}
+		if err := lc.Lock(p, "f", txn.Shared); err != nil {
+			t.Errorf("re-entrant lock: %v", err)
+		}
+		if err := lc.Unlock(p, "f"); err != nil {
+			t.Errorf("unlock 1: %v", err)
+		}
+		if err := lc.Unlock(p, "f"); err != nil {
+			t.Errorf("unlock 2: %v", err)
+		}
+		if err := lc.Unlock(p, "f"); err == nil {
+			t.Error("third unlock succeeded")
+		}
+	})
+	r.Run(t)
+}
+
+func TestTxnIDEncoding(t *testing.T) {
+	r := testrig.New(3)
+	co := txn.NewCoordinator(r.Caller(2))
+	tx1 := co.Begin()
+	tx2 := co.Begin()
+	if tx1.ID == tx2.ID {
+		t.Fatal("duplicate transaction IDs")
+	}
+	if tx1.ID.Coordinator() != r.Eps[2].Node() {
+		t.Fatalf("coordinator = %v", tx1.ID.Coordinator())
+	}
+	if s := tx1.ID.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: Outcomes is deterministic and total — every txn mentioned in
+// the records resolves to committed or aborted, commit/abort records win
+// over prepares, and no txn resolves to both.
+func TestOutcomesProperty(t *testing.T) {
+	kinds := []string{"begin", "create", "prepare", "commit", "abort"}
+	prop := func(seq []uint8) bool {
+		var recs []txn.JournalRecord
+		committed := map[txn.ID]bool{}
+		aborted := map[txn.ID]bool{}
+		for i, raw := range seq {
+			if i >= 40 {
+				break
+			}
+			id := txn.ID(raw % 5)
+			kind := kinds[int(raw/5)%len(kinds)]
+			// Model terminal-state precedence: first terminal record wins
+			// in our journals (participants never write both).
+			if committed[id] || aborted[id] {
+				continue
+			}
+			switch kind {
+			case "commit":
+				committed[id] = true
+			case "abort":
+				aborted[id] = true
+			}
+			recs = append(recs, txn.JournalRecord{Txn: id, Kind: kind})
+		}
+		out := txn.Outcomes(recs)
+		for _, rec := range recs {
+			st, ok := out[rec.Txn]
+			if !ok {
+				return false
+			}
+			if st != txn.StatusCommitted && st != txn.StatusAborted {
+				return false
+			}
+			if committed[rec.Txn] && st != txn.StatusCommitted {
+				return false
+			}
+			if aborted[rec.Txn] && st != txn.StatusAborted {
+				return false
+			}
+			// Unresolved txns presume abort.
+			if !committed[rec.Txn] && !aborted[rec.Txn] && st != txn.StatusAborted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitTimeoutUnderRealPartition(t *testing.T) {
+	// A participant that is alive but unreachable (network partition, not
+	// a missing service) must also resolve through the timeout + abort
+	// path, and the reachable participant must end aborted.
+	r := testrig.New(4)
+	pt1, _ := bootParticipant(r, 1)
+	pt2, _ := bootParticipant(r, 2)
+	co := txn.NewCoordinator(r.Caller(3))
+	r.Go("client", func(p *sim.Proc) {
+		tx := co.Begin()
+		tx.Enlist(endpoint(r, 1))
+		tx.Enlist(endpoint(r, 2))
+		// Cut node 2 off from the coordinator (but not from node 1).
+		r.Net.Partition(
+			[]netsim.NodeID{r.Eps[2].Node()},
+			[]netsim.NodeID{r.Eps[3].Node()},
+		)
+		err := tx.CommitTimeout(p, 50*time.Millisecond)
+		if err == nil {
+			t.Error("commit succeeded across a partition")
+		}
+		r.Net.SetFault(nil)
+	})
+	r.Run(t)
+	if pt1.Status(0x300000001) != txn.StatusAborted {
+		t.Fatalf("reachable participant = %v, want aborted", pt1.Status(0x300000001))
+	}
+	// The partitioned participant never heard anything: still active; its
+	// journal-replay recovery resolves it by presumed abort.
+	if pt2.Status(0x300000001) != txn.StatusActive {
+		t.Fatalf("partitioned participant = %v", pt2.Status(0x300000001))
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[txn.Status]string{
+		txn.StatusActive:    "active",
+		txn.StatusPrepared:  "prepared",
+		txn.StatusCommitted: "committed",
+		txn.StatusAborted:   "aborted",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+	if txn.Shared.String() != "shared" || txn.Exclusive.String() != "exclusive" {
+		t.Error("lock mode strings")
+	}
+}
