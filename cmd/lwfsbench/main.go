@@ -7,6 +7,7 @@
 //	lwfsbench -experiment table2            # Table 2 params vs measurement
 //	lwfsbench -experiment petaflop          # §4 scaling projection
 //	lwfsbench -experiment security          # §3.1 protocol microbenchmarks
+//	lwfsbench -experiment faults            # lossy-fabric degradation sweep
 //	lwfsbench -experiment all
 //
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
@@ -33,7 +34,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -174,6 +175,20 @@ func main() {
 		}
 		fmt.Printf("server-side filters  %v\nread-everything      %v\nspeedup              %.1fx\n",
 			ft, rt, rt.Seconds()/ft.Seconds())
+		return nil
+	})
+
+	run("faults", func() error {
+		fo := figures.FaultOpts{Trials: *trials, Progress: progress}
+		if *quick {
+			fo.Trials = 2
+			fo.DropProbs = []float64{0, 0.05}
+		}
+		res, err := figures.FaultSweep(fo)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
 		return nil
 	})
 

@@ -456,6 +456,10 @@ func NewClient(caller *portals.Caller, server netsim.NodeID) *Client {
 // Server returns the authorization service's node.
 func (c *Client) Server() netsim.NodeID { return c.server }
 
+// Caller exposes the underlying RPC caller, so fault harnesses can arm
+// authorization traffic with a retry policy.
+func (c *Client) Caller() *portals.Caller { return c.caller }
+
 // CreateContainer makes a new container owned by the credential's
 // principal and returns its ID.
 func (c *Client) CreateContainer(p *sim.Proc, cred authn.Credential) (ContainerID, error) {

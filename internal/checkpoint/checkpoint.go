@@ -16,6 +16,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"lwfs/internal/cluster"
 	"lwfs/internal/core"
 	"lwfs/internal/netsim"
+	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 	"lwfs/internal/txn"
@@ -36,6 +38,33 @@ type Config struct {
 	Seed         int64 // start-time jitter and placement variation per trial
 	// JitterMax bounds the per-process start jitter (default 1ms).
 	JitterMax time.Duration
+	// Retry, when enabled, arms every client RPC with timeout/backoff
+	// retransmission. Required for fault-injection runs: a crashed or
+	// partitioned server then degrades to failover onto a survivor instead
+	// of hanging the job. Timeout must comfortably cover one BytesPerProc
+	// write, or healthy writes will be misread as failures.
+	Retry portals.RetryPolicy
+	// PatternData dumps PatternFor(rank, BytesPerProc) bytes instead of
+	// metadata-only synthetic payloads, so a Restore pass can verify the
+	// checkpoint content bit-exactly — even for objects that failover
+	// redirected to a different server. Costs real allocation per rank;
+	// leave it off for large performance sweeps.
+	PatternData bool
+}
+
+// PatternFor returns rank's checkpoint payload: a deterministic
+// rank-keyed byte pattern (xorshift64 over a splitmix-style seed). Tests
+// and restore verification regenerate it to check content bit-exactly.
+func PatternFor(rank int, n int64) []byte {
+	b := make([]byte, n)
+	x := uint64(rank)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
 }
 
 func (c Config) jitter() time.Duration {
@@ -114,6 +143,11 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 	clients := make([]*core.Client, cfg.Procs)
 	for i := range clients {
 		clients[i] = cl.NewClient(l, i)
+		if cfg.Retry.Enabled() {
+			// Per-rank jitter seeds keep chaos runs deterministic while
+			// decorrelating the ranks' backoff schedules.
+			clients[i].SetRetry(cfg.Retry, cfg.Seed+int64(i+1)*1000003)
+		}
 	}
 	// Gather channel for the metadata phase (rank 0 collects ObjRefs).
 	gather := sim.NewMailbox(cl.K, "ckpt/gather")
@@ -173,12 +207,11 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			m := gather.Recv(p).(gatherMsg)
 			refs[m.rank] = m.ref
 		}
-		mdRef, err := c.CreateObjectTxn(p, c.Server(placement), caps, tx)
+		var mdT ProcTimes
+		mdRef, err := writeObjectFailover(p, c, caps, tx, placement,
+			netsim.BytesPayload(EncodeMetadata(refs, cfg.BytesPerProc)), false, &mdT)
 		if err != nil {
-			panic(fmt.Sprintf("md create: %v", err))
-		}
-		if _, err := c.Write(p, mdRef, caps, 0, netsim.BytesPayload(EncodeMetadata(refs, cfg.BytesPerProc))); err != nil {
-			panic(fmt.Sprintf("md write: %v", err))
+			panic(fmt.Sprintf("md object: %v", err))
 		}
 		if err := c.CreateName(p, "/ckpt-0001", mdRef, tx); err != nil {
 			panic(fmt.Sprintf("name: %v", err))
@@ -233,28 +266,67 @@ type dumpOut struct {
 	ref storage.ObjRef
 }
 
-// dumpLWFS is one process's CHECKPOINT body: CREATEOBJ + DUMPSTATE + sync.
+// dumpLWFS is one process's CHECKPOINT body: CREATEOBJ + DUMPSTATE + sync,
+// with failover when the object's server dies mid-dump.
 func dumpLWFS(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
+	payload := netsim.SyntheticPayload(cfg.BytesPerProc)
+	if cfg.PatternData {
+		payload = netsim.BytesPayload(PatternFor(rank, cfg.BytesPerProc))
+	}
 	var out dumpOut
 	t0 := p.Now()
-	ref, err := c.CreateObjectTxn(p, c.Server(rank+placement), caps, h.tx)
+	ref, err := writeObjectFailover(p, c, caps, h.tx, rank+placement, payload, true, &out.t)
 	if err != nil {
-		panic(fmt.Sprintf("rank %d create: %v", rank, err))
+		panic(fmt.Sprintf("rank %d dump: %v", rank, err))
 	}
 	out.ref = ref
-	out.t.Create = p.Now().Sub(t0)
-
-	t1 := p.Now()
-	if _, err := c.Write(p, ref, caps, 0, netsim.SyntheticPayload(cfg.BytesPerProc)); err != nil {
-		panic(fmt.Sprintf("rank %d write: %v", rank, err))
-	}
-	out.t.Write = p.Now().Sub(t1)
-
-	t2 := p.Now()
-	if err := c.Sync(p, storage.TargetOf(ref), caps); err != nil {
-		panic(fmt.Sprintf("rank %d sync: %v", rank, err))
-	}
-	out.t.Sync = p.Now().Sub(t2)
 	out.t.Total = p.Now().Sub(t0)
 	return out
+}
+
+// writeObjectFailover creates an object at the preferred server, dumps
+// payload into it and (optionally) syncs — failing over to the next server
+// in the list when the one holding the object stops responding mid-dump.
+// A redirect delists the dead server from the checkpoint transaction: the
+// provisional create journaled there resolves by presumed abort when the
+// server restarts, and the commit set shrinks to the servers that actually
+// hold checkpoint data. Without a retry policy (ISSUE: Retry disabled)
+// there are no timeouts, so the loop degenerates to the plain happy path.
+func writeObjectFailover(p *sim.Proc, c *core.Client, caps core.CapSet, tx *txn.Txn, prefer int, payload netsim.Payload, doSync bool, t *ProcTimes) (storage.ObjRef, error) {
+	n := len(c.Servers())
+	var lastErr error
+	for i := 0; i < n; i++ {
+		t0 := p.Now()
+		ref, idx, err := c.CreateObjectFailover(p, prefer, caps, tx)
+		if err != nil {
+			return storage.ObjRef{}, err
+		}
+		t.Create += p.Now().Sub(t0)
+
+		t1 := p.Now()
+		_, err = c.Write(p, ref, caps, 0, payload)
+		if err == nil {
+			t.Write += p.Now().Sub(t1)
+			if !doSync {
+				return ref, nil
+			}
+			t2 := p.Now()
+			if err = c.Sync(p, storage.TargetOf(ref), caps); err == nil {
+				t.Sync += p.Now().Sub(t2)
+				return ref, nil
+			}
+		}
+		if !errors.Is(err, portals.ErrRPCTimeout) {
+			return storage.ObjRef{}, err
+		}
+		// The server accepted the create but died before the dump became
+		// durable. Redirect: drop it from the commit set and start over on
+		// the next server in the rotation.
+		if tx != nil {
+			tx.Delist(core.TxnEndpointOf(storage.TargetOf(ref)))
+		}
+		prefer = idx + 1
+		lastErr = err
+	}
+	return storage.ObjRef{}, fmt.Errorf("checkpoint: dump failed on every server: %w", lastErr)
 }

@@ -263,6 +263,16 @@ func (c *Cluster) NewClient(l *LWFS, idx int) *core.Client {
 	return core.NewClient(ep, l.Sys)
 }
 
+// StorageNodeIDs returns the storage nodes' network IDs — the scope handed
+// to netsim fault rules when only the data path should be lossy.
+func (c *Cluster) StorageNodeIDs() []netsim.NodeID {
+	ids := make([]netsim.NodeID, len(c.StorageN))
+	for i, ep := range c.StorageN {
+		ids[i] = ep.Node()
+	}
+	return ids
+}
+
 // RegisterUser adds a principal to the realm.
 func (c *Cluster) RegisterUser(user authn.Principal, secret string) {
 	c.Realm.Register(user, secret)

@@ -114,6 +114,17 @@ func NewClient(ep *portals.Endpoint, sys System) *Client {
 // Addr returns the client's scatter address.
 func (c *Client) Addr() ProcAddr { return c.addr }
 
+// Caller exposes the client's RPC caller (fault harnesses, statistics).
+func (c *Client) Caller() *portals.Caller { return c.caller }
+
+// SetRetry arms every RPC this client issues — authentication,
+// authorization, naming, storage, transaction control — with a retry
+// policy. seed keys the backoff jitter so chaos runs stay deterministic;
+// pass a value derived from the process rank.
+func (c *Client) SetRetry(pol portals.RetryPolicy, seed int64) {
+	c.caller.SetRetry(pol, sim.NewRand(seed))
+}
+
 // Node returns the client's node.
 func (c *Client) Node() netsim.NodeID { return c.ep.Node() }
 
@@ -246,10 +257,53 @@ func (c *Client) CreateObject(p *sim.Proc, t storage.Target, caps CapSet) (stora
 }
 
 // CreateObjectTxn is CreateObject inside a transaction: the object exists
-// only if tx commits. The server is enlisted automatically.
+// only if tx commits. The server is enlisted automatically — after the
+// create succeeds, so a server that was never reached (crashed, partitioned)
+// cannot poison the commit.
 func (c *Client) CreateObjectTxn(p *sim.Proc, t storage.Target, caps CapSet, tx *txn.Txn) (storage.ObjRef, error) {
-	tx.Enlist(txn.Endpoint{Node: t.Node, Port: t.Port + 2})
-	return c.sc.CreateTxn(p, t, caps.Get(authz.OpCreate), caps.Container, tx.ID)
+	ref, err := c.sc.CreateTxn(p, t, caps.Get(authz.OpCreate), caps.Container, tx.ID)
+	if err == nil {
+		tx.Enlist(TxnEndpointOf(t))
+	}
+	return ref, err
+}
+
+// TxnEndpointOf maps a storage target to its transaction-participant
+// endpoint (the participant listens two portals above the RPC port).
+func TxnEndpointOf(t storage.Target) txn.Endpoint {
+	return txn.Endpoint{Node: t.Node, Port: t.Port + 2}
+}
+
+// CreateObjectFailover allocates an object on the first reachable storage
+// server, starting at preferred index `prefer` and walking the server list
+// round-robin. It is the client half of graceful degradation: when the
+// preferred server is crashed or partitioned, the create (after its retry
+// budget at each candidate) lands on a survivor, and the caller records the
+// actual placement. Inside a transaction, only the server that actually
+// holds the object is enlisted. It returns the object and the index of the
+// server that accepted it.
+func (c *Client) CreateObjectFailover(p *sim.Proc, prefer int, caps CapSet, tx *txn.Txn) (storage.ObjRef, int, error) {
+	n := len(c.sys.Storage)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (prefer + i) % n
+		t := c.sys.Storage[idx]
+		var ref storage.ObjRef
+		var err error
+		if tx != nil {
+			ref, err = c.CreateObjectTxn(p, t, caps, tx)
+		} else {
+			ref, err = c.CreateObject(p, t, caps)
+		}
+		if err == nil {
+			return ref, idx, nil
+		}
+		lastErr = err
+		if !errors.Is(err, portals.ErrRPCTimeout) {
+			break // a reachable server said no; failing over won't help
+		}
+	}
+	return storage.ObjRef{}, -1, fmt.Errorf("core: create failed on every server: %w", lastErr)
 }
 
 // Write stores payload at off in the object (server-directed pull).

@@ -1,0 +1,35 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepDegradesGracefully: the checkpoint completes at every loss
+// rate, and losing messages costs time, never correctness.
+func TestFaultSweepDegradesGracefully(t *testing.T) {
+	res, err := FaultSweep(FaultOpts{
+		DropProbs: []float64{0, 0.05},
+		Procs:     4,
+		Servers:   2,
+		Trials:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	clean, lossy := res.Points[0], res.Points[1]
+	if lossy.Elapsed.Mean() < clean.Elapsed.Mean() {
+		t.Fatalf("lossy run (%f ms) faster than clean (%f ms)", lossy.Elapsed.Mean(), clean.Elapsed.Mean())
+	}
+	if lossy.Dropped.Mean() == 0 {
+		t.Fatal("5% drop rule never dropped a message")
+	}
+	var b strings.Builder
+	res.Render(&b)
+	if !strings.Contains(b.String(), "slowdown") {
+		t.Fatalf("render output:\n%s", b.String())
+	}
+}

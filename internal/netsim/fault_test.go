@@ -45,7 +45,7 @@ func TestPartitionAndHeal(t *testing.T) {
 	if counts[b.ID] != 0 || counts[a.ID] != 0 || counts[c.ID] != 1 {
 		t.Fatalf("counts = %v", counts)
 	}
-	net.SetFault(nil) // heal
+	net.Heal()
 	net.Send(Message{From: a.ID, To: b.ID, Size: 10})
 	if err := k.Run(sim.MaxTime); err != nil {
 		t.Fatal(err)

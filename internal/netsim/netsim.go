@@ -82,33 +82,20 @@ type Network struct {
 	nodes   []*Node
 	trace   func(at sim.Time, m Message, event string)
 	fault   func(m Message) bool
+	rules   []*Fault
+	rng     *sim.Rand
 	dropped int64
 }
 
-// SetFault installs a fault injector consulted for every message at send
-// time; returning true silently drops the message (a lossy or partitioned
-// fabric). Pass nil to heal. Timing note: drops happen before egress, so
-// the sender pays nothing — appropriate for modeling partitions, where
-// packets vanish in the fabric.
+// SetFault installs an ad-hoc fault injector consulted for every message at
+// send time; returning true silently drops the message. Pass nil to remove
+// it. Declarative fault rules (InjectFault, Partition, Degrade in faults.go)
+// compose with and are preferred over this closure. Timing note: drops
+// happen before egress, so the sender pays nothing — appropriate for
+// modeling partitions, where packets vanish in the fabric.
 func (n *Network) SetFault(f func(m Message) bool) { n.fault = f }
 
-// Partition drops every message between the two node groups (both
-// directions) until SetFault(nil) heals the network.
-func (n *Network) Partition(groupA, groupB []NodeID) {
-	inA := map[NodeID]bool{}
-	inB := map[NodeID]bool{}
-	for _, id := range groupA {
-		inA[id] = true
-	}
-	for _, id := range groupB {
-		inB[id] = true
-	}
-	n.SetFault(func(m Message) bool {
-		return (inA[m.From] && inB[m.To]) || (inB[m.From] && inA[m.To])
-	})
-}
-
-// Dropped reports messages removed by the fault injector.
+// Dropped reports messages removed by fault injection.
 func (n *Network) Dropped() int64 { return n.dropped }
 
 // SetTrace installs a message-trace hook, called at send ("tx") and
@@ -187,7 +174,8 @@ func (n *Network) Send(m Message) {
 	if m.Size <= 0 {
 		m.Size = 1
 	}
-	if n.fault != nil && n.fault(m) {
+	drop, extra := n.applyFaults(m)
+	if drop {
 		n.dropped++
 		return
 	}
@@ -195,7 +183,7 @@ func (n *Network) Send(m Message) {
 	src.bytesSent += m.Size
 	n.traceMsg(m, "tx")
 	src.egress.Schedule(sim.Rate(m.Size, src.cfg.EgressBW), func() {
-		n.k.After(n.latency, func() {
+		n.k.After(n.latency+extra, func() {
 			dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
 				dst.received++
 				dst.bytesReceived += m.Size
@@ -218,7 +206,8 @@ func (n *Network) SendWait(p *sim.Proc, m Message) {
 	if m.Size <= 0 {
 		m.Size = 1
 	}
-	if n.fault != nil && n.fault(m) {
+	drop, extra := n.applyFaults(m)
+	if drop {
 		n.dropped++
 		return
 	}
@@ -227,7 +216,7 @@ func (n *Network) SendWait(p *sim.Proc, m Message) {
 	n.traceMsg(m, "tx")
 	// Block for our egress slot, then launch the rest of the pipeline.
 	src.egress.Wait(p, sim.Rate(m.Size, src.cfg.EgressBW))
-	n.k.After(n.latency, func() {
+	n.k.After(n.latency+extra, func() {
 		dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
 			dst.received++
 			dst.bytesReceived += m.Size

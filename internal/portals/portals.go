@@ -128,6 +128,13 @@ type getPending struct {
 	fut *sim.Future
 }
 
+// lateKey identifies an expected late message: a portal index and match
+// bits whose match entry was unlinked by a timeout.
+type lateKey struct {
+	pt   Index
+	bits MatchBits
+}
+
 // Endpoint is a node's portals interface. At most one endpoint may exist
 // per node; services on the node share it, distinguished by portal index.
 type Endpoint struct {
@@ -139,7 +146,15 @@ type Endpoint struct {
 	nextToken uint64
 	tokSeq    uint64
 
-	dropped int64
+	getRetry RetryPolicy
+	getRNG   *sim.Rand
+
+	lateWatch map[lateKey]func()
+	lateOrder []lateKey // FIFO eviction when a watched reply never arrives
+
+	dropped   int64
+	lateDrops int64
+	droppedAt map[Index]int64
 }
 
 // NextToken allocates an endpoint-unique token. All users of shared reply
@@ -159,6 +174,10 @@ var ErrNoMatch = errors.New("portals: no matching match entry")
 
 // ErrBounds is reported when a Get reads outside the target MD's payload.
 var ErrBounds = errors.New("portals: get outside memory descriptor bounds")
+
+// ErrGetTimeout is reported when a one-sided Get exhausts its retry budget
+// (SetGetRetry) without a reply.
+var ErrGetTimeout = errors.New("portals: get timeout")
 
 // NewEndpoint creates the portals endpoint for node and installs it as the
 // node's network handler.
@@ -184,6 +203,58 @@ func (ep *Endpoint) Kernel() *sim.Kernel { return ep.net.Kernel() }
 
 // Dropped reports messages that arrived with no matching match entry.
 func (ep *Endpoint) Dropped() int64 { return ep.dropped }
+
+// DroppedAt reports no-match drops at one portal index.
+func (ep *Endpoint) DroppedAt(pt Index) int64 { return ep.droppedAt[pt] }
+
+// LateDrops reports messages dropped because they arrived after the
+// operation that posted their match entry had timed out.
+func (ep *Endpoint) LateDrops() int64 { return ep.lateDrops }
+
+// SetGetRetry arms one-sided Gets with a retry policy: each attempt is
+// bounded by pol.Timeout and a lost request or reply is re-issued under a
+// fresh token, up to pol.MaxAttempts. Without it (the default) a Get whose
+// messages are dropped blocks its process forever — fatal for the storage
+// server's pull-based writes under fault injection. rng seeds the backoff
+// jitter; nil uses a default seed.
+func (ep *Endpoint) SetGetRetry(pol RetryPolicy, rng *sim.Rand) {
+	if rng == nil {
+		rng = sim.NewRand(0)
+	}
+	ep.getRetry, ep.getRNG = pol, rng
+}
+
+// lateWatchCap bounds the late-reply watch table (entries whose reply was
+// lost outright, not late, would otherwise accumulate forever).
+const lateWatchCap = 4096
+
+// watchLate registers fn to run if a message lands at (pt, bits) after its
+// match entry was unlinked by a timeout. One-shot.
+func (ep *Endpoint) watchLate(pt Index, bits MatchBits, fn func()) {
+	if ep.lateWatch == nil {
+		ep.lateWatch = make(map[lateKey]func())
+	}
+	k := lateKey{pt: pt, bits: bits}
+	ep.lateWatch[k] = fn
+	ep.lateOrder = append(ep.lateOrder, k)
+	if len(ep.lateOrder) > lateWatchCap {
+		delete(ep.lateWatch, ep.lateOrder[0])
+		ep.lateOrder = ep.lateOrder[1:]
+	}
+}
+
+func (ep *Endpoint) dropNoMatch(pt Index, bits MatchBits) {
+	if fn, ok := ep.lateWatch[lateKey{pt: pt, bits: bits}]; ok {
+		delete(ep.lateWatch, lateKey{pt: pt, bits: bits})
+		ep.lateDrops++
+		fn()
+	}
+	ep.dropped++
+	if ep.droppedAt == nil {
+		ep.droppedAt = make(map[Index]int64)
+	}
+	ep.droppedAt[pt]++
+}
 
 // Attach binds a match entry at portal index pt. Incoming operations match
 // when (msgBits &^ ignore) == (bits &^ ignore). Entries are searched in
@@ -240,21 +311,46 @@ func (ep *Endpoint) PutWait(p *sim.Proc, target netsim.NodeID, pt Index, bits Ma
 // serialization costs on the target's egress and our ingress — this is the
 // server-pull half of server-directed I/O.
 func (ep *Endpoint) Get(p *sim.Proc, target netsim.NodeID, pt Index, bits MatchBits, offset, length int64) (netsim.Payload, error) {
-	ep.nextToken++
-	token := ep.nextToken
-	pend := &getPending{fut: sim.NewFuture()}
-	ep.pending[token] = pend
-	ep.net.Send(netsim.Message{
-		From: ep.node.ID,
-		To:   target,
-		Size: HeaderSize,
-		Body: getReq{pt: pt, bits: bits, offset: offset, length: length, token: token, initiator: ep.node.ID},
-	})
-	v, err := pend.fut.Wait(p)
-	if err != nil {
-		return netsim.Payload{}, err
+	attempts := 1
+	if ep.getRetry.Enabled() {
+		attempts = ep.getRetry.MaxAttempts
 	}
-	return v.(netsim.Payload), nil
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			p.Sleep(ep.getRetry.Pause(a-1, ep.getRNG))
+		}
+		ep.nextToken++
+		token := ep.nextToken
+		pend := &getPending{fut: sim.NewFuture()}
+		ep.pending[token] = pend
+		ep.net.Send(netsim.Message{
+			From: ep.node.ID,
+			To:   target,
+			Size: HeaderSize,
+			Body: getReq{pt: pt, bits: bits, offset: offset, length: length, token: token, initiator: ep.node.ID},
+		})
+		var v interface{}
+		var err error
+		if ep.getRetry.Enabled() {
+			var ok bool
+			v, err, ok = pend.fut.WaitTimeout(p, ep.getRetry.Timeout)
+			if !ok {
+				// Lost request or reply: retry under a fresh token. If the
+				// reply is merely late it finds no pending entry and is
+				// dropped — tokens are never reused, so it cannot complete a
+				// different Get.
+				delete(ep.pending, token)
+				continue
+			}
+		} else {
+			v, err = pend.fut.Wait(p)
+		}
+		if err != nil {
+			return netsim.Payload{}, err
+		}
+		return v.(netsim.Payload), nil
+	}
+	return netsim.Payload{}, ErrGetTimeout
 }
 
 // deliver runs in kernel context for every message addressed to this node.
@@ -263,7 +359,7 @@ func (ep *Endpoint) deliver(m netsim.Message) {
 	case putMsg:
 		me := ep.match(body.pt, body.bits)
 		if me == nil {
-			ep.dropped++
+			ep.dropNoMatch(body.pt, body.bits)
 			return
 		}
 		if me.once {
@@ -282,7 +378,7 @@ func (ep *Endpoint) deliver(m netsim.Message) {
 		me := ep.match(body.pt, body.bits)
 		reply := getReply{token: body.token}
 		if me == nil {
-			ep.dropped++
+			ep.dropNoMatch(body.pt, body.bits)
 			reply.err = ErrNoMatch.Error()
 		} else {
 			src := me.md.Payload

@@ -23,6 +23,7 @@ const replyPortal Index = 1022
 // rpcRequest is the header of an RPC request message.
 type rpcRequest struct {
 	Token    uint64
+	ReqID    uint64 // nonzero for retryable calls; servers dedup on (From, ReqID)
 	From     netsim.NodeID
 	Body     interface{}
 	RespSize int64 // wire size the response should occupy (0 => header only)
@@ -43,20 +44,54 @@ type rpcResponse struct {
 // body travels back to the caller.
 type Handler func(p *sim.Proc, from netsim.NodeID, req interface{}) (resp interface{}, err error)
 
+// dedupKey identifies one logical client request across retries.
+type dedupKey struct {
+	from  netsim.NodeID
+	reqID uint64
+}
+
+// dedupResult is what a completed execution leaves behind for duplicates.
+type dedupResult struct {
+	body interface{}
+	err  error
+}
+
+// dedupCap bounds the dedup table; oldest entries fall out FIFO. 4096 logical
+// requests in flight or recently completed per server is far beyond anything
+// the simulated workloads generate.
+const dedupCap = 4096
+
 // Server dispatches RPC requests arriving at one portal index to a pool of
 // service processes. Threads models the server's internal concurrency: a
 // Lustre MDS with one service thread serializes every create; an LWFS
 // storage server with several threads overlaps network pulls with disk
 // writes across requests.
+//
+// Retried requests (nonzero ReqID) are deduplicated: a duplicate of a
+// request still executing waits for the original and returns its response;
+// a duplicate of a completed request returns the recorded response without
+// re-running the handler. This is what makes client retry safe for
+// non-idempotent operations (object create, 2PC prepare).
 type Server struct {
 	ep      *Endpoint
 	pt      Index
 	name    string
 	q       *sim.Mailbox
 	handler Handler
-	paused  bool
 
-	served int64
+	inflight map[dedupKey]*sim.Future
+	order    []dedupKey // FIFO eviction of inflight
+
+	// down models a crashed process: requests are discarded unanswered and
+	// replies from handler executions that straddled the crash are
+	// suppressed. epoch increments on every SetDown(true) so an execution
+	// that began before a crash cannot leak its reply after a restart.
+	down  bool
+	epoch uint64
+
+	served    int64
+	deduped   int64
+	discarded int64
 }
 
 // Serve attaches an RPC server at (ep, pt) with the given number of service
@@ -66,7 +101,12 @@ func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *S
 		panic(fmt.Sprintf("portals: server %q: need at least one thread", name))
 	}
 	k := ep.Kernel()
-	s := &Server{ep: ep, pt: pt, name: name, q: sim.NewMailbox(k, name+"/rpcq"), handler: handler}
+	s := &Server{
+		ep: ep, pt: pt, name: name,
+		q:        sim.NewMailbox(k, name+"/rpcq"),
+		handler:  handler,
+		inflight: make(map[dedupKey]*sim.Future),
+	}
 	ep.Attach(pt, 0, ^MatchBits(0), &MD{EQ: s.q})
 	for i := 0; i < threads; i++ {
 		k.SpawnDaemon(fmt.Sprintf("%s/worker%d", name, i), s.worker)
@@ -77,8 +117,48 @@ func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *S
 // Served reports the number of requests completed.
 func (s *Server) Served() int64 { return s.served }
 
+// Deduped reports retried requests answered without re-running the handler.
+func (s *Server) Deduped() int64 { return s.deduped }
+
+// Discarded reports requests dropped because the server was down.
+func (s *Server) Discarded() int64 { return s.discarded }
+
 // QueueLen reports requests waiting for a service thread.
 func (s *Server) QueueLen() int { return s.q.Len() }
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool { return s.down }
+
+// SetDown crashes (true) or restarts (false) the server. Crashing discards
+// queued requests, forgets the volatile dedup table, and suppresses replies
+// from handler executions already underway; the RPC port itself stays bound,
+// modeling a machine that is unreachable at the process level rather than
+// the NIC level. Durable state recovery is the owner's job (storage servers
+// replay their journal on restart).
+func (s *Server) SetDown(down bool) {
+	if down && !s.down {
+		s.epoch++
+		s.inflight = make(map[dedupKey]*sim.Future)
+		s.order = nil
+		for {
+			if _, ok := s.q.TryRecv(); !ok {
+				break
+			}
+			s.discarded++
+		}
+	}
+	s.down = down
+}
+
+func (s *Server) reply(epoch uint64, req rpcRequest, body interface{}, err error) {
+	if s.down || epoch != s.epoch {
+		return // crashed (or crashed+restarted) since this execution began
+	}
+	s.served++
+	size := HeaderSize + req.RespSize
+	s.ep.Put(req.From, replyPortal, MatchBits(req.Token), rpcResponse{Token: req.Token, Body: body, Err: err},
+		netsim.SyntheticPayload(size-HeaderSize))
+}
 
 func (s *Server) worker(p *sim.Proc) {
 	for {
@@ -87,11 +167,36 @@ func (s *Server) worker(p *sim.Proc) {
 		if !ok {
 			continue
 		}
+		if s.down {
+			s.discarded++
+			continue
+		}
+		epoch := s.epoch
+		if req.ReqID == 0 {
+			body, err := s.handler(p, req.From, req.Body)
+			s.reply(epoch, req, body, err)
+			continue
+		}
+		key := dedupKey{from: req.From, reqID: req.ReqID}
+		if fut, dup := s.inflight[key]; dup {
+			// Retry of a request we have seen: wait for (or read) the
+			// original execution's result and answer at this reply token.
+			s.deduped++
+			v, _ := fut.Wait(p)
+			r := v.(dedupResult)
+			s.reply(epoch, req, r.body, r.err)
+			continue
+		}
+		fut := sim.NewFuture()
+		s.inflight[key] = fut
+		s.order = append(s.order, key)
+		if len(s.order) > dedupCap {
+			delete(s.inflight, s.order[0])
+			s.order = s.order[1:]
+		}
 		body, err := s.handler(p, req.From, req.Body)
-		resp := rpcResponse{Token: req.Token, Body: body, Err: err}
-		s.served++
-		size := HeaderSize + req.RespSize
-		s.ep.Put(req.From, replyPortal, MatchBits(req.Token), resp, netsim.SyntheticPayload(size-HeaderSize))
+		fut.Complete(dedupResult{body: body, err: err}, nil)
+		s.reply(epoch, req, body, err)
 	}
 }
 
@@ -101,7 +206,12 @@ var ErrRPCTimeout = errors.New("portals: rpc timeout")
 // Caller issues RPCs from an endpoint. Tokens come from the endpoint's
 // shared space, so any number of callers may coexist on one node.
 type Caller struct {
-	ep *Endpoint
+	ep    *Endpoint
+	retry RetryPolicy
+	rng   *sim.Rand
+
+	lateReplies int64
+	retries     int64
 }
 
 // NewCaller creates a caller on ep.
@@ -110,24 +220,66 @@ func NewCaller(ep *Endpoint) *Caller { return &Caller{ep: ep} }
 // Endpoint returns the caller's endpoint.
 func (c *Caller) Endpoint() *Endpoint { return c.ep }
 
+// SetRetry arms Call with a retry policy. rng seeds the backoff jitter and
+// may be nil for a default seed; pass a per-caller seeded generator to keep
+// chaos runs deterministic.
+func (c *Caller) SetRetry(pol RetryPolicy, rng *sim.Rand) {
+	if rng == nil {
+		rng = sim.NewRand(0)
+	}
+	c.retry, c.rng = pol, rng
+}
+
+// Retry returns the caller's retry policy (zero if disabled).
+func (c *Caller) Retry() RetryPolicy { return c.retry }
+
+// LateReplies reports responses that arrived after their attempt timed out.
+// Each was dropped at the reply portal — never delivered to another call.
+func (c *Caller) LateReplies() int64 { return c.lateReplies }
+
+// Retries reports re-sent attempts (excluding each call's first attempt).
+func (c *Caller) Retries() int64 { return c.retries }
+
 // Call sends req (occupying reqSize bytes on the wire, in addition to the
 // portals header) to the server at (target, pt) and blocks p for the
 // response. respSize tells the server how large its answer is on the wire.
+// With a retry policy armed (SetRetry), lost requests or responses are
+// retried under a per-attempt timeout with exponential backoff; the server
+// deduplicates re-executions, so retried calls stay exactly-once.
 func (c *Caller) Call(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64) (interface{}, error) {
-	return c.call(p, target, pt, req, reqSize, respSize, 0)
+	if !c.retry.Enabled() {
+		return c.call(p, target, pt, req, reqSize, respSize, 0, 0)
+	}
+	reqID := c.ep.nextTok()
+	var lastErr error
+	for a := 0; a < c.retry.MaxAttempts; a++ {
+		if a > 0 {
+			c.retries++
+			p.Sleep(c.retry.Pause(a-1, c.rng))
+		}
+		v, err := c.call(p, target, pt, req, reqSize, respSize, c.retry.Timeout, reqID)
+		if !errors.Is(err, ErrRPCTimeout) {
+			return v, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
-// CallTimeout is Call with a deadline; it returns ErrRPCTimeout if no
-// response arrives in time (the response, if it arrives later, is dropped).
+// CallTimeout is Call with a deadline and exactly one attempt; it returns
+// ErrRPCTimeout if no response arrives in time. A response that arrives
+// later is dropped at the reply portal and counted (LateReplies) — reply
+// tokens are never reused, so a late response can never satisfy a
+// different call.
 func (c *Caller) CallTimeout(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64, timeout time.Duration) (interface{}, error) {
-	return c.call(p, target, pt, req, reqSize, respSize, timeout)
+	return c.call(p, target, pt, req, reqSize, respSize, timeout, 0)
 }
 
-func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64, timeout time.Duration) (interface{}, error) {
+func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64, timeout time.Duration, reqID uint64) (interface{}, error) {
 	token := c.ep.nextTok()
 	mb := sim.NewMailbox(c.ep.Kernel(), fmt.Sprintf("rpc-reply-%d", token))
 	me := c.ep.AttachOnce(replyPortal, MatchBits(token), 0, &MD{EQ: mb})
-	c.ep.Put(target, pt, 0, rpcRequest{Token: token, From: c.ep.Node(), Body: req, RespSize: respSize},
+	c.ep.Put(target, pt, 0, rpcRequest{Token: token, ReqID: reqID, From: c.ep.Node(), Body: req, RespSize: respSize},
 		netsim.SyntheticPayload(reqSize))
 
 	var ev interface{}
@@ -135,6 +287,9 @@ func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface
 		v, ok := mb.RecvTimeout(p, timeout)
 		if !ok {
 			me.Unlink()
+			// If the response is merely late (not lost), count it when it
+			// finally lands instead of mistaking it for a stray message.
+			c.ep.watchLate(replyPortal, MatchBits(token), func() { c.lateReplies++ })
 			return nil, ErrRPCTimeout
 		}
 		ev = v

@@ -1,0 +1,53 @@
+package sim
+
+import "time"
+
+// Rand is a small deterministic pseudo-random generator (SplitMix64). Every
+// source of randomness inside a simulation — fault-injection drop decisions,
+// retry-backoff jitter, placement variation — must draw from a seeded Rand
+// rather than math/rand's global state, so that a run is a pure function of
+// its seeds: random choices are consumed in kernel event order, and two runs
+// with the same seeds make identical choices at identical virtual instants.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Equal seeds yield equal
+// sequences; distinct seeds yield (for all practical purposes) independent
+// streams.
+func NewRand(seed int64) *Rand {
+	return &Rand{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Duration returns a uniform duration in [0, max); zero if max <= 0.
+func (r *Rand) Duration(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(r.Int63n(int64(max)))
+}

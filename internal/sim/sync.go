@@ -319,3 +319,31 @@ func (f *Future) Wait(p *Proc) (interface{}, error) {
 	}
 	return f.val, f.err
 }
+
+// WaitTimeout is Wait but gives up after d, returning ok=false. The future
+// stays valid: a later Wait (or a retry) still observes its completion.
+func (f *Future) WaitTimeout(p *Proc, d time.Duration) (val interface{}, err error, ok bool) {
+	if f.done {
+		return f.val, f.err, true
+	}
+	timedOut := false
+	cancel := p.k.afterCancelable(d, func() {
+		// Wake p empty-handed only if it is still waiting; Complete removes
+		// waiters before unparking them, so this cannot double-resume.
+		for i, q := range f.waiters {
+			if q == p {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				timedOut = true
+				p.unpark()
+				return
+			}
+		}
+	})
+	f.waiters = append(f.waiters, p)
+	p.park()
+	if timedOut {
+		return nil, nil, false
+	}
+	cancel()
+	return f.val, f.err, true
+}

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"lwfs/internal/authz"
 	"lwfs/internal/netsim"
@@ -17,11 +19,16 @@ const (
 	respWireSize = 64
 )
 
+// errChunksLost marks a read whose response arrived but whose data chunks
+// were (partly) dropped on the wire; the retry loop re-reads.
+var errChunksLost = errors.New("storage: data chunks lost in flight")
+
 // Client issues storage requests from one node. Data-transfer match bits
 // come from the endpoint's shared token space, so several client processes
 // can share a node.
 type Client struct {
-	ep *portals.Caller
+	ep  *portals.Caller
+	rng *sim.Rand
 }
 
 // NewClient creates a storage client sending from caller's endpoint.
@@ -85,27 +92,64 @@ func (c *Client) Write(p *sim.Proc, ref ObjRef, cap authz.Capability, off int64,
 // pushes the data into a posted receive buffer; Read reassembles it.
 // Requires an OpRead capability. Short reads at end-of-object return the
 // available bytes.
+//
+// Reads retry differently from every other request: a retried read must
+// NOT be deduplicated at the server (the whole point is re-pushing the data
+// chunks), and each attempt needs fresh match bits so stale chunks from a
+// timed-out attempt can never land in the new attempt's buffer. So when the
+// caller has a retry policy, Read runs its own attempt loop over
+// single-shot CallTimeout instead of the caller's dedup-backed retry.
 func (c *Client) Read(p *sim.Proc, ref ObjRef, cap authz.Capability, off, length int64) (netsim.Payload, error) {
+	pol := c.ep.Retry()
+	if !pol.Enabled() {
+		return c.readOnce(p, ref, cap, off, length, 0)
+	}
+	if c.rng == nil {
+		c.rng = sim.NewRand(int64(c.ep.Endpoint().Node()))
+	}
+	var lastErr error
+	for a := 0; a < pol.MaxAttempts; a++ {
+		if a > 0 {
+			p.Sleep(pol.Pause(a-1, c.rng))
+		}
+		payload, err := c.readOnce(p, ref, cap, off, length, pol.Timeout)
+		if !errors.Is(err, portals.ErrRPCTimeout) && !errors.Is(err, errChunksLost) {
+			return payload, err
+		}
+		lastErr = err
+	}
+	return netsim.Payload{}, lastErr
+}
+
+func (c *Client) readOnce(p *sim.Proc, ref ObjRef, cap authz.Capability, off, length int64, timeout time.Duration) (netsim.Payload, error) {
 	bits := c.bits()
 	eq := sim.NewMailbox(c.ep.Endpoint().Kernel(), "read-data")
 	me := c.ep.Endpoint().Attach(ClientDataPortal, bits, 0, &portals.MD{EQ: eq})
 	defer me.Unlink()
-	v, err := c.ep.Call(p, ref.Node, ref.Port, readReq{
+	req := readReq{
 		Cap:        cap,
 		ID:         ref.ID,
 		Off:        off,
 		Len:        length,
 		Bits:       bits,
 		DataPortal: ClientDataPortal,
-	}, reqWireSize, respWireSize)
+	}
+	var v interface{}
+	var err error
+	if timeout > 0 {
+		v, err = c.ep.CallTimeout(p, ref.Node, ref.Port, req, reqWireSize, respWireSize, timeout)
+	} else {
+		v, err = c.ep.Call(p, ref.Node, ref.Port, req, reqWireSize, respWireSize)
+	}
 	if err != nil {
 		return netsim.Payload{}, err
 	}
 	resp := v.(readResp)
 	// All data Puts preceded the response through the same FIFO network
-	// path, so exactly resp.Chunks events are already queued.
+	// path, so exactly resp.Chunks events are already queued — unless fault
+	// injection dropped one, which the retry loop treats as retryable.
 	if eq.Len() != resp.Chunks {
-		return netsim.Payload{}, fmt.Errorf("storage: expected %d chunks, have %d", resp.Chunks, eq.Len())
+		return netsim.Payload{}, fmt.Errorf("%w: expected %d chunks, have %d", errChunksLost, resp.Chunks, eq.Len())
 	}
 	out := netsim.Payload{Size: resp.Len}
 	var buf []byte

@@ -105,7 +105,7 @@ type Server struct {
 	filters  map[string]FilterFunc
 
 	cacheHits, cacheMisses, invalidated int64
-	rpc                                 *portals.Server
+	rpc, cacheRPC                       *portals.Server
 }
 
 // Start binds a storage server to ep's node at the given RPC portal, with
@@ -126,10 +126,35 @@ func Start(ep *portals.Endpoint, dev *osd.Device, az *authz.Client, rpcPort port
 		capCache:  make(map[uint64]authz.Capability),
 	}
 	s.rpc = portals.Serve(ep, s.rpcPort, dev.Name(), cfg.Threads, s.handle)
-	portals.Serve(ep, s.cachePort, dev.Name()+"/capcache", 1, s.handleInvalidate)
+	s.cacheRPC = portals.Serve(ep, s.cachePort, dev.Name()+"/capcache", 1, s.handleInvalidate)
 	s.part = txn.NewParticipant(ep, dev, s.rpcPort+2)
 	return s
 }
+
+// Crash fail-stops the server process: in-flight requests die unanswered,
+// queued requests are discarded, and all volatile state is lost — the
+// capability cache and the transaction participant's in-memory statuses.
+// Durable state (objects, the journal) survives on the device.
+func (s *Server) Crash() {
+	s.rpc.SetDown(true)
+	s.cacheRPC.SetDown(true)
+	s.part.Crash()
+	s.capCache = make(map[uint64]authz.Capability)
+}
+
+// Restart brings a crashed server back: the RPC ports answer again and the
+// transaction journal is replayed (Recover), removing objects created by
+// transactions that resolved to aborted. It returns the orphan count.
+// Capabilities must be re-verified on first use — the cache restarts cold.
+func (s *Server) Restart(p *sim.Proc) (removed int, err error) {
+	s.rpc.SetDown(false)
+	s.cacheRPC.SetDown(false)
+	s.part.Restart()
+	return s.Recover(p)
+}
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool { return s.rpc.Down() }
 
 // TxnEndpoint returns the participant endpoint clients enlist for
 // transactional object creation on this server.
@@ -179,6 +204,10 @@ func (s *Server) Ref(id osd.ObjectID) ObjRef {
 // and by tests).
 func (s *Server) Device() *osd.Device { return s.dev }
 
+// AuthzClient exposes the server's authorization-service client, so fault
+// harnesses can arm its caller with a retry policy.
+func (s *Server) AuthzClient() *authz.Client { return s.az }
+
 // CacheStats reports capability-cache hits, misses and invalidations.
 func (s *Server) CacheStats() (hits, misses, invalidated int64) {
 	return s.cacheHits, s.cacheMisses, s.invalidated
@@ -186,6 +215,10 @@ func (s *Server) CacheStats() (hits, misses, invalidated int64) {
 
 // Served reports completed requests.
 func (s *Server) Served() int64 { return s.rpc.Served() }
+
+// Deduped reports retransmitted requests absorbed by the exactly-once
+// request-ID filter (each is a retry whose original still answered).
+func (s *Server) Deduped() int64 { return s.rpc.Deduped() }
 
 // request bodies
 
@@ -484,6 +517,9 @@ func (s *Server) pullWrite(p *sim.Proc, from netsim.NodeID, r writeReq) (interfa
 			payload, err := s.ep.Get(q, from, r.DataPortal, r.Bits, off, n)
 			chunks.Send(pulledChunk{off: off, payload: payload, err: err})
 			if err != nil {
+				// The failed chunk carries no payload; return its buffer
+				// here so the pool is whole for the next request.
+				s.bufPool.Release(n)
 				return
 			}
 		}

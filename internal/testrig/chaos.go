@@ -1,0 +1,46 @@
+package testrig
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lwfs/internal/sim"
+)
+
+// ChaosEvent is one scripted fault action: at virtual-time offset At from
+// the moment RunChaos is called, Do runs inside a dedicated chaos process —
+// so actions that consume simulated time themselves (storage.Server.Restart
+// replays the journal with device reads) have a process to run on.
+type ChaosEvent struct {
+	At   time.Duration
+	Name string
+	Do   func(p *sim.Proc)
+}
+
+// ChaosLog records the fired events for post-run assertions.
+type ChaosLog struct {
+	Events []string // "name@virtual-time", in firing order
+}
+
+// RunChaos installs a scripted fault schedule on the kernel: a "chaos"
+// process sleeps to each event's instant and fires it. Events run in At
+// order (stable for ties). Because the schedule is driven by virtual time
+// and the actions close over deterministic state, the same script against
+// the same workload and seeds reproduces the same run exactly.
+func RunChaos(k *sim.Kernel, events ...ChaosEvent) *ChaosLog {
+	evs := append([]ChaosEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	log := &ChaosLog{}
+	k.Spawn("chaos", func(p *sim.Proc) {
+		start := p.Now()
+		for _, ev := range evs {
+			if wait := start.Add(ev.At).Sub(p.Now()); wait > 0 {
+				p.Sleep(wait)
+			}
+			ev.Do(p)
+			log.Events = append(log.Events, fmt.Sprintf("%s@%v", ev.Name, p.Now()))
+		}
+	})
+	return log
+}

@@ -158,7 +158,7 @@ func TestCommitTimeoutUnderRealPartition(t *testing.T) {
 		if err == nil {
 			t.Error("commit succeeded across a partition")
 		}
-		r.Net.SetFault(nil)
+		r.Net.Heal()
 	})
 	r.Run(t)
 	if pt1.Status(0x300000001) != txn.StatusAborted {

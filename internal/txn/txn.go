@@ -112,6 +112,7 @@ type txnState struct {
 type Participant struct {
 	k       *sim.Kernel
 	dev     *osd.Device
+	rpc     *portals.Server
 	journal osd.ObjectID
 	jOff    int64
 	state   map[ID]*txnState
@@ -141,9 +142,28 @@ func NewParticipant(ep *portals.Endpoint, dev *osd.Device, port portals.Index) *
 	}
 	// The journal object is created lazily by the first logging process;
 	// creating it here would require a process context.
-	portals.Serve(ep, port, dev.Name()+"/txn", 2, pt.handle)
+	pt.rpc = portals.Serve(ep, port, dev.Name()+"/txn", 2, pt.handle)
 	return pt
 }
+
+// Crash models a fail-stop of the participant's process: the RPC port stops
+// answering, and all volatile state — transaction statuses, callbacks, the
+// open journal handle — is lost. The journal object itself survives on the
+// device; Recover (after Restart) resolves every in-doubt transaction from
+// it by presumed abort.
+func (pt *Participant) Crash() {
+	pt.rpc.SetDown(true)
+	pt.state = make(map[ID]*txnState)
+	pt.journal = 0
+	pt.jOff = 0
+}
+
+// Restart brings the RPC port back up after a Crash. The host service must
+// run Recover from a service process before accepting new work.
+func (pt *Participant) Restart() { pt.rpc.SetDown(false) }
+
+// Down reports whether the participant is crashed.
+func (pt *Participant) Down() bool { return pt.rpc.Down() }
 
 // Stats reports prepares, commits and aborts handled.
 func (pt *Participant) Stats() (prepares, commits, aborts int64) {
@@ -424,6 +444,20 @@ func (t *Txn) Enlist(e Endpoint) {
 		}
 	}
 	t.participants = append(t.participants, e)
+}
+
+// Delist removes a participant enlisted earlier — the failover path: a
+// client that redirects its provisional work away from a crashed server
+// must not let that server's vote decide the transaction. The crashed
+// participant's own provisional records resolve to aborted on its recovery
+// (presumed abort), undoing the abandoned work.
+func (t *Txn) Delist(e Endpoint) {
+	for i, x := range t.participants {
+		if x == e {
+			t.participants = append(t.participants[:i], t.participants[i+1:]...)
+			return
+		}
+	}
 }
 
 // Participants returns the enlisted endpoints.
