@@ -9,6 +9,7 @@ import (
 	"lwfs/internal/authz"
 	"lwfs/internal/checkpoint"
 	"lwfs/internal/cluster"
+	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/testrig"
@@ -39,7 +40,20 @@ type chaosOutcome struct {
 	manifest checkpoint.Manifest
 	data     [][]byte // per-rank restored bytes
 	removed  int      // orphans swept by the crashed server's journal replay
-	log      *testrig.ChaosLog
+	// fullAtCrash counts data objects on the victim's device that held a
+	// complete BytesPerProc dump at the instant of the crash — ranks whose
+	// checkpoint had already landed there and must be re-homed before commit.
+	fullAtCrash int
+	victim      netsim.NodeID // node of the crashed server
+	log         *testrig.ChaosLog
+}
+
+// chaosParams scripts one crash/restart scenario.
+type chaosParams struct {
+	seed      int64
+	jitterMax time.Duration // per-rank start stagger (0 = the 1ms default)
+	crashAt   time.Duration
+	restartAt time.Duration
 }
 
 // runChaosCheckpoint is the scripted scenario behind the acceptance tests:
@@ -47,10 +61,16 @@ type chaosOutcome struct {
 // after every rank's provisional create has landed but while the dumps are
 // still streaming — and restarts at 250 ms, well after the job finished
 // around it. The ranks placed on the dead server ride their retry budget,
-// delist it from the transaction, and redirect to the survivor; the restart
-// replays the journal and sweeps the orphaned provisional creates; a
-// restore pass then reads every rank's pattern back bit-exactly.
+// redirect to the survivor, and the commit tail drops the dead server from
+// the transaction; the restart replays the journal and sweeps the orphaned
+// provisional creates; a restore pass then reads every rank's pattern back
+// bit-exactly.
 func runChaosCheckpoint(t *testing.T, seed int64) chaosOutcome {
+	t.Helper()
+	return runChaosScript(t, chaosParams{seed: seed, crashAt: 8 * time.Millisecond, restartAt: 250 * time.Millisecond})
+}
+
+func runChaosScript(t *testing.T, sc chaosParams) chaosOutcome {
 	t.Helper()
 	cl := cluster.New(chaosSpec())
 	cl.RegisterUser("app", "s3cret")
@@ -58,18 +78,27 @@ func runChaosCheckpoint(t *testing.T, seed int64) chaosOutcome {
 	cfg := checkpoint.Config{
 		Procs:        4,
 		BytesPerProc: 2 * mb,
-		Seed:         seed,
+		Seed:         sc.seed,
+		JitterMax:    sc.jitterMax,
 		Retry:        chaosRetry,
 		PatternData:  true,
 	}
 
 	out := chaosOutcome{}
 	victim := l.Servers[1]
+	out.victim = victim.Node()
 	out.log = testrig.RunChaos(cl.K,
-		testrig.ChaosEvent{At: 8 * time.Millisecond, Name: "crash", Do: func(p *sim.Proc) {
+		testrig.ChaosEvent{At: sc.crashAt, Name: "crash", Do: func(p *sim.Proc) {
+			// Probe first: how many complete dumps had landed on the victim?
+			// (The app's container is 1; the journal lives in container 0.)
+			for _, id := range victim.Device().ListContainer(1) {
+				if st, err := victim.Device().Stat(id); err == nil && st.Size >= cfg.BytesPerProc {
+					out.fullAtCrash++
+				}
+			}
 			victim.Crash()
 		}},
-		testrig.ChaosEvent{At: 250 * time.Millisecond, Name: "restart", Do: func(p *sim.Proc) {
+		testrig.ChaosEvent{At: sc.restartAt, Name: "restart", Do: func(p *sim.Proc) {
 			n, err := victim.Restart(p)
 			if err != nil {
 				t.Errorf("restart: %v", err)
@@ -91,7 +120,7 @@ func runChaosCheckpoint(t *testing.T, seed int64) chaosOutcome {
 	restoreRetry := chaosRetry
 	restoreRetry.Timeout = 100 * time.Millisecond
 	restarter := cl.NewClient(l, 0)
-	restarter.SetRetry(restoreRetry, seed+99)
+	restarter.SetRetry(restoreRetry, sc.seed+99)
 	gate := sim.NewMailbox(cl.K, "chaos/gate")
 	cl.Spawn("gate", func(p *sim.Proc) {
 		for len(res.Per) < cfg.Procs {
@@ -171,6 +200,63 @@ func TestCheckpointSurvivesServerCrash(t *testing.T) {
 		t.Fatalf("journal replay removed %d orphans, want >= 1", out.removed)
 	}
 	// Bit-exact restore: each rank's bytes match its deterministic pattern.
+	for rank, got := range out.data {
+		want := checkpoint.PatternFor(rank, out.manifest.BytesPerProc)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rank %d restored data differs from pattern", rank)
+		}
+	}
+}
+
+// chaosRehomeSeed/CrashAt pin a schedule (under 35 ms start jitter) where
+// one victim-placed rank has fully dumped and synced before the crash while
+// the other is still streaming — the window the re-home fix exists for.
+const (
+	chaosRehomeSeed    = 1
+	chaosRehomeCrashAt = 40 * time.Millisecond
+)
+
+// TestCompletedDumpOnCrashedServerIsRehomed is the regression test for a
+// correctness hole in the original failover: rank starts are staggered so
+// that one rank *completes* its dump (provisional create journaled, data
+// synced) on the victim before the crash, while another rank placed there is
+// still mid-dump. The mid-dump rank's timeout used to delist the victim
+// immediately, so the victim's recovery resolved the shared transaction by
+// presumed abort and deleted the completed rank's object — while the
+// manifest still referenced it, silently corrupting the restore. The fix
+// re-homes the completed rank's object onto a survivor at the commit tail
+// and only then drops the victim from the commit set.
+func TestCompletedDumpOnCrashedServerIsRehomed(t *testing.T) {
+	out := runChaosScript(t, chaosParams{
+		seed:      chaosRehomeSeed,
+		jitterMax: 35 * time.Millisecond,
+		crashAt:   chaosRehomeCrashAt,
+		restartAt: 250 * time.Millisecond,
+	})
+	t.Logf("chaos events: %v, full dumps on victim at crash: %d", out.log.Events, out.fullAtCrash)
+
+	// Scenario precondition: at least one rank had fully landed on the
+	// victim when it died. Without it this test degenerates into
+	// TestCheckpointSurvivesServerCrash and proves nothing new.
+	if out.fullAtCrash < 1 {
+		t.Fatalf("scenario setup broken: no completed dump on the victim at crash time")
+	}
+	if out.manifest.Ranks != 4 {
+		t.Fatalf("manifest = %+v", out.manifest)
+	}
+	// Every manifest reference must have been moved off the victim: its
+	// journal replay deletes all its provisional creates by presumed abort.
+	for rank, ref := range out.manifest.Refs {
+		if ref.Node == out.victim {
+			t.Errorf("rank %d still references the crashed server", rank)
+		}
+	}
+	// The victim's replay must sweep the completed dump's create along with
+	// the mid-dump one — both are orphans now that the data was re-homed.
+	if out.removed < 2 {
+		t.Fatalf("journal replay removed %d orphans, want >= 2 (completed + in-flight creates)", out.removed)
+	}
+	// The decisive assertion: the re-homed rank's data restores bit-exactly.
 	for rank, got := range out.data {
 		want := checkpoint.PatternFor(rank, out.manifest.BytesPerProc)
 		if !bytes.Equal(got, want) {

@@ -186,7 +186,7 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 		}
 		// One transaction for the whole checkpoint (BEGINTXN).
 		tx := c.BeginTxn()
-		h := &txnHandle{tx: tx}
+		h := newTxnHandle(tx)
 		for i := 1; i < cfg.Procs; i++ {
 			shared.Send(share{caps: caps, tx: h})
 		}
@@ -207,12 +207,21 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			m := gather.Recv(p).(gatherMsg)
 			refs[m.rank] = m.ref
 		}
+		// Ranks that finished on a server a later rank saw die must be
+		// re-homed before the manifest is written: a failed server's journal
+		// replay deletes its provisional creates by presumed abort.
 		var mdT ProcTimes
-		mdRef, err := writeObjectFailover(p, c, caps, tx, placement,
+		if err := rehomeFailed(p, c, caps, h, refs, placement, cfg, &mdT); err != nil {
+			panic(fmt.Sprintf("re-home: %v", err))
+		}
+		mdRef, err := writeObjectFailover(p, c, caps, h, placement,
 			netsim.BytesPayload(EncodeMetadata(refs, cfg.BytesPerProc)), false, &mdT)
 		if err != nil {
 			panic(fmt.Sprintf("md object: %v", err))
 		}
+		// Only now, with every reference on a surviving server, drop the
+		// failed servers from the commit set.
+		sealTxn(h, refs, mdRef)
 		if err := c.CreateName(p, "/ckpt-0001", mdRef, tx); err != nil {
 			panic(fmt.Sprintf("name: %v", err))
 		}
@@ -258,8 +267,26 @@ type gatherMsg struct {
 
 // txnHandle shares one coordinator-side transaction between the job's
 // processes (they run in one address space here; a real MPI job would share
-// the txn ID the same way it shares the capability set).
-type txnHandle struct{ tx *txn.Txn }
+// the txn ID the same way it shares the capability set). It also carries the
+// job's shared fault bookkeeping: the set of participant endpoints some rank
+// has observed timing out, in observation order so the commit tail's
+// delisting walk stays deterministic.
+type txnHandle struct {
+	tx          *txn.Txn
+	failed      map[txn.Endpoint]bool
+	failedOrder []txn.Endpoint
+}
+
+func newTxnHandle(tx *txn.Txn) *txnHandle {
+	return &txnHandle{tx: tx, failed: make(map[txn.Endpoint]bool)}
+}
+
+func (h *txnHandle) markFailed(e txn.Endpoint) {
+	if !h.failed[e] {
+		h.failed[e] = true
+		h.failedOrder = append(h.failedOrder, e)
+	}
+}
 
 type dumpOut struct {
 	t   ProcTimes
@@ -269,13 +296,9 @@ type dumpOut struct {
 // dumpLWFS is one process's CHECKPOINT body: CREATEOBJ + DUMPSTATE + sync,
 // with failover when the object's server dies mid-dump.
 func dumpLWFS(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
-	payload := netsim.SyntheticPayload(cfg.BytesPerProc)
-	if cfg.PatternData {
-		payload = netsim.BytesPayload(PatternFor(rank, cfg.BytesPerProc))
-	}
 	var out dumpOut
 	t0 := p.Now()
-	ref, err := writeObjectFailover(p, c, caps, h.tx, rank+placement, payload, true, &out.t)
+	ref, err := writeObjectFailover(p, c, caps, h, rank+placement, payloadFor(rank, cfg), true, &out.t)
 	if err != nil {
 		panic(fmt.Sprintf("rank %d dump: %v", rank, err))
 	}
@@ -286,20 +309,40 @@ func dumpLWFS(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, rank,
 
 // writeObjectFailover creates an object at the preferred server, dumps
 // payload into it and (optionally) syncs — failing over to the next server
-// in the list when the one holding the object stops responding mid-dump.
-// A redirect delists the dead server from the checkpoint transaction: the
-// provisional create journaled there resolves by presumed abort when the
-// server restarts, and the commit set shrinks to the servers that actually
-// hold checkpoint data. Without a retry policy (ISSUE: Retry disabled)
-// there are no timeouts, so the loop degenerates to the plain happy path.
-func writeObjectFailover(p *sim.Proc, c *core.Client, caps core.CapSet, tx *txn.Txn, prefer int, payload netsim.Payload, doSync bool, t *ProcTimes) (storage.ObjRef, error) {
+// in the rotation when the one holding the object stops responding. Servers
+// already marked failed in the shared handle are skipped up front. A timeout
+// only *marks* the server failed; delisting it from the checkpoint
+// transaction is deferred to the commit tail (sealTxn), after rehomeFailed
+// has moved every affected rank's data off it. Delisting here would be
+// wrong: another rank may have completed its dump on that server before it
+// died, and a delisted server resolves its journaled provisional creates by
+// presumed abort on recovery — deleting data the manifest still references.
+// Without a retry policy (ISSUE: Retry disabled) there are no timeouts, so
+// the loop degenerates to the plain happy path.
+func writeObjectFailover(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, prefer int, payload netsim.Payload, doSync bool, t *ProcTimes) (storage.ObjRef, error) {
 	n := len(c.Servers())
 	var lastErr error
 	for i := 0; i < n; i++ {
+		tgt := c.Server(prefer + i)
+		ep := core.TxnEndpointOf(tgt)
+		if h.failed[ep] {
+			continue
+		}
 		t0 := p.Now()
-		ref, idx, err := c.CreateObjectFailover(p, prefer, caps, tx)
+		var ref storage.ObjRef
+		var err error
+		if h.tx != nil {
+			ref, err = c.CreateObjectTxn(p, tgt, caps, h.tx)
+		} else {
+			ref, err = c.CreateObject(p, tgt, caps)
+		}
 		if err != nil {
-			return storage.ObjRef{}, err
+			if !errors.Is(err, portals.ErrRPCTimeout) {
+				return storage.ObjRef{}, err
+			}
+			h.markFailed(ep)
+			lastErr = err
+			continue
 		}
 		t.Create += p.Now().Sub(t0)
 
@@ -311,7 +354,7 @@ func writeObjectFailover(p *sim.Proc, c *core.Client, caps core.CapSet, tx *txn.
 				return ref, nil
 			}
 			t2 := p.Now()
-			if err = c.Sync(p, storage.TargetOf(ref), caps); err == nil {
+			if err = c.Sync(p, tgt, caps); err == nil {
 				t.Sync += p.Now().Sub(t2)
 				return ref, nil
 			}
@@ -320,13 +363,68 @@ func writeObjectFailover(p *sim.Proc, c *core.Client, caps core.CapSet, tx *txn.
 			return storage.ObjRef{}, err
 		}
 		// The server accepted the create but died before the dump became
-		// durable. Redirect: drop it from the commit set and start over on
-		// the next server in the rotation.
-		if tx != nil {
-			tx.Delist(core.TxnEndpointOf(storage.TargetOf(ref)))
-		}
-		prefer = idx + 1
+		// durable: mark it and move on to the next server in the rotation.
+		h.markFailed(ep)
 		lastErr = err
 	}
+	if lastErr == nil {
+		lastErr = portals.ErrRPCTimeout // every server was already marked failed
+	}
 	return storage.ObjRef{}, fmt.Errorf("checkpoint: dump failed on every server: %w", lastErr)
+}
+
+// payloadFor builds rank's dump payload per the config: the verifiable
+// deterministic pattern, or a metadata-only synthetic buffer.
+func payloadFor(rank int, cfg Config) netsim.Payload {
+	if cfg.PatternData {
+		return netsim.BytesPayload(PatternFor(rank, cfg.BytesPerProc))
+	}
+	return netsim.SyntheticPayload(cfg.BytesPerProc)
+}
+
+// rehomeFailed re-dumps every rank whose checkpoint object sits on a server
+// that was marked failed after the dump landed there: if such a server
+// crashed, its journal replay resolves the shared transaction by presumed
+// abort and deletes the object, so the manifest must not reference it. The
+// payloads are regenerable (deterministic pattern or synthetic), so rank 0
+// redoes the dumps itself at the commit tail, updating refs in place. A
+// re-dump can itself discover new failures, so the scan repeats until every
+// reference sits on a healthy server.
+func rehomeFailed(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, refs []storage.ObjRef, placement int, cfg Config, t *ProcTimes) error {
+	for changed := true; changed; {
+		changed = false
+		for rank, ref := range refs {
+			if !h.failed[core.TxnEndpointOf(storage.TargetOf(ref))] {
+				continue
+			}
+			nref, err := writeObjectFailover(p, c, caps, h, rank+placement, payloadFor(rank, cfg), true, t)
+			if err != nil {
+				return fmt.Errorf("re-homing rank %d: %w", rank, err)
+			}
+			refs[rank] = nref
+			changed = true
+		}
+	}
+	return nil
+}
+
+// sealTxn shrinks the commit set to the servers that still matter: every
+// failed server holding no manifest-referenced object is delisted, so its
+// vote (it is likely crashed or partitioned) cannot veto the checkpoint,
+// and its journaled provisional creates resolve by presumed abort on
+// recovery. A failed server that *does* still hold a referenced object — a
+// crash in the narrow window after re-homing — stays enlisted: its prepare
+// then fails and the transaction aborts loudly, never silently committing a
+// manifest that references deleted data.
+func sealTxn(h *txnHandle, refs []storage.ObjRef, mdRef storage.ObjRef) {
+	referenced := make(map[txn.Endpoint]bool, len(refs)+1)
+	for _, r := range refs {
+		referenced[core.TxnEndpointOf(storage.TargetOf(r))] = true
+	}
+	referenced[core.TxnEndpointOf(storage.TargetOf(mdRef))] = true
+	for _, ep := range h.failedOrder {
+		if !referenced[ep] {
+			h.tx.Delist(ep)
+		}
+	}
 }

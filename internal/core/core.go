@@ -298,12 +298,14 @@ func (c *Client) CreateObjectFailover(p *sim.Proc, prefer int, caps CapSet, tx *
 		if err == nil {
 			return ref, idx, nil
 		}
-		lastErr = err
 		if !errors.Is(err, portals.ErrRPCTimeout) {
-			break // a reachable server said no; failing over won't help
+			// A reachable server said no; failing over won't help, and the
+			// failure is that server's verdict, not an every-server outage.
+			return storage.ObjRef{}, -1, err
 		}
+		lastErr = err
 	}
-	return storage.ObjRef{}, -1, fmt.Errorf("core: create failed on every server: %w", lastErr)
+	return storage.ObjRef{}, -1, fmt.Errorf("core: create timed out on every server: %w", lastErr)
 }
 
 // Write stores payload at off in the object (server-directed pull).

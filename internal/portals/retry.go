@@ -38,7 +38,7 @@ func (pol RetryPolicy) Enabled() bool { return pol.MaxAttempts > 1 && pol.Timeou
 // pause computes the sleep after failed attempt number a (0-based).
 func (pol RetryPolicy) Pause(a int, rng *sim.Rand) time.Duration {
 	d := pol.Backoff
-	for i := 0; i < a && d < pol.MaxBackoff; i++ {
+	for i := 0; i < a && (pol.MaxBackoff == 0 || d < pol.MaxBackoff); i++ {
 		d *= 2
 	}
 	if pol.MaxBackoff > 0 && d > pol.MaxBackoff {

@@ -228,3 +228,61 @@ func TestGetRetryExhaustionReturnsError(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestPauseUncappedBackoffGrows(t *testing.T) {
+	// MaxBackoff == 0 documents "uncapped": the backoff must still double
+	// per attempt instead of sticking at Backoff.
+	pol := RetryPolicy{MaxAttempts: 6, Timeout: time.Millisecond, Backoff: time.Millisecond}
+	for a, want := 0, time.Millisecond; a < 5; a, want = a+1, want*2 {
+		if got := pol.Pause(a, nil); got != want {
+			t.Fatalf("attempt %d: pause = %v, want %v", a, got, want)
+		}
+	}
+	capped := pol
+	capped.MaxBackoff = 3 * time.Millisecond
+	if got := capped.Pause(4, nil); got != 3*time.Millisecond {
+		t.Fatalf("capped pause = %v, want %v", got, 3*time.Millisecond)
+	}
+}
+
+func TestDedupEvictionSkipsInFlightEntries(t *testing.T) {
+	// With the dedup table full of newer completed entries, an in-flight
+	// execution must never be evicted: a retransmission of it has to find
+	// the original's future, or a non-idempotent handler would run twice.
+	r := newRig(t, 2, 100*mb)
+	calls := make(map[string]int)
+	srv := Serve(r.eps[1], 5, "svc", 4, func(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
+		calls[req.(string)]++
+		if req.(string) == "slow" {
+			p.Sleep(40 * time.Millisecond)
+		}
+		return "ok", nil
+	})
+	srv.dedupCap = 1
+	// Swallow replies: this test drives raw requests, not a Caller.
+	r.eps[0].Attach(replyPortal, 0, ^MatchBits(0), &MD{EQ: sim.NewMailbox(r.k, "replies")})
+	me := r.eps[0].Node()
+	r.k.Spawn("driver", func(p *sim.Proc) {
+		put := func(tok, reqID uint64, body string) {
+			r.eps[0].Put(r.eps[1].Node(), 5, 0,
+				rpcRequest{Token: tok, ReqID: reqID, From: me, Body: body, RespSize: 0},
+				netsim.SyntheticPayload(64))
+		}
+		put(1, 100, "slow") // starts a 40ms execution
+		p.Sleep(5 * time.Millisecond)
+		put(2, 101, "fast1") // completes; its insert must not evict "slow"
+		p.Sleep(5 * time.Millisecond)
+		put(3, 102, "fast2") // pushes the table past cap again
+		p.Sleep(5 * time.Millisecond)
+		put(4, 100, "slow") // retransmission while the original still runs
+	})
+	if e := r.k.Run(sim.MaxTime); e != nil {
+		t.Fatal(e)
+	}
+	if calls["slow"] != 1 {
+		t.Fatalf("non-idempotent in-flight handler ran %d times after eviction pressure", calls["slow"])
+	}
+	if srv.Deduped() != 1 {
+		t.Fatalf("deduped = %d, want 1", srv.Deduped())
+	}
+}

@@ -56,10 +56,12 @@ type dedupResult struct {
 	err  error
 }
 
-// dedupCap bounds the dedup table; oldest entries fall out FIFO. 4096 logical
-// requests in flight or recently completed per server is far beyond anything
-// the simulated workloads generate.
-const dedupCap = 4096
+// defaultDedupCap bounds the dedup table; the oldest *completed* entries
+// fall out FIFO (in-flight executions are never evicted — a retransmission
+// of one must keep finding its future, or the handler would re-run). 4096
+// logical requests in flight or recently completed per server is far beyond
+// anything the simulated workloads generate.
+const defaultDedupCap = 4096
 
 // Server dispatches RPC requests arriving at one portal index to a pool of
 // service processes. Threads models the server's internal concurrency: a
@@ -81,6 +83,7 @@ type Server struct {
 
 	inflight map[dedupKey]*sim.Future
 	order    []dedupKey // FIFO eviction of inflight
+	dedupCap int
 
 	// down models a crashed process: requests are discarded unanswered and
 	// replies from handler executions that straddled the crash are
@@ -106,6 +109,7 @@ func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *S
 		q:        sim.NewMailbox(k, name+"/rpcq"),
 		handler:  handler,
 		inflight: make(map[dedupKey]*sim.Future),
+		dedupCap: defaultDedupCap,
 	}
 	ep.Attach(pt, 0, ^MatchBits(0), &MD{EQ: s.q})
 	for i := 0; i < threads; i++ {
@@ -190,13 +194,32 @@ func (s *Server) worker(p *sim.Proc) {
 		fut := sim.NewFuture()
 		s.inflight[key] = fut
 		s.order = append(s.order, key)
-		if len(s.order) > dedupCap {
-			delete(s.inflight, s.order[0])
-			s.order = s.order[1:]
-		}
+		s.evictDedup()
 		body, err := s.handler(p, req.From, req.Body)
 		fut.Complete(dedupResult{body: body, err: err}, nil)
 		s.reply(epoch, req, body, err)
+	}
+}
+
+// evictDedup trims the dedup table to its cap, oldest-first, skipping
+// entries whose execution is still in flight: evicting one of those would
+// let a later retransmission re-run a non-idempotent handler. The table may
+// transiently exceed the cap while more than dedupCap executions are
+// genuinely concurrent; later inserts trim it back once they complete.
+func (s *Server) evictDedup() {
+	for len(s.order) > s.dedupCap {
+		victim := -1
+		for i, k := range s.order {
+			if s.inflight[k].Done() {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		delete(s.inflight, s.order[victim])
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
 	}
 }
 
