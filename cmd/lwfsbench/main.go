@@ -8,6 +8,7 @@
 //	lwfsbench -experiment petaflop          # §4 scaling projection
 //	lwfsbench -experiment security          # §3.1 protocol microbenchmarks
 //	lwfsbench -experiment faults            # lossy-fabric degradation sweep
+//	lwfsbench -experiment burst             # burst-tier apparent vs durable sweep
 //	lwfsbench -experiment all
 //
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
@@ -34,7 +35,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -185,6 +186,21 @@ func main() {
 			fo.DropProbs = []float64{0, 0.05}
 		}
 		res, err := figures.FaultSweep(fo)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return nil
+	})
+
+	run("burst", func() error {
+		bo := figures.BurstOpts{Trials: *trials, Progress: progress}
+		if *quick {
+			bo.Trials = 2
+			bo.Buffers = []int{0, 2}
+			bo.DrainBWs = []float64{0}
+		}
+		res, err := figures.BurstSweep(bo)
 		if err != nil {
 			return err
 		}

@@ -12,20 +12,29 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
 
 	"lwfs"
 	"lwfs/internal/netsim"
+	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 )
 
-func main() {
-	op := flag.String("op", "write", "getcaps|write|read|revoke")
-	size := flag.Int64("kb", 256, "transfer size in KiB (write/read)")
-	flag.Parse()
+// traceEvent is one captured wire event: a message leaving a NIC ("tx") or
+// being delivered ("rx").
+type traceEvent struct {
+	At   sim.Time
+	Kind string
+	Msg  netsim.Message
+}
 
+// runTrace boots a small cluster, performs untraced setup (login, caps, an
+// object holding kb KiB), then runs the requested operation with the wire
+// trace armed. It returns the captured events and a node-name resolver.
+func runTrace(op string, kb int64) ([]traceEvent, func(netsim.NodeID) string, error) {
 	spec := lwfs.DevCluster()
 	spec.ComputeNodes = 1
 	spec = spec.WithServers(2)
@@ -34,85 +43,104 @@ func main() {
 	sys := cl.DeployLWFS()
 	c := cl.NewClient(sys, 0)
 
-	type event struct {
-		at   sim.Time
-		kind string
-		m    netsim.Message
-	}
-	var events []event
+	var events []traceEvent
 	tracing := false
 	cl.Net.SetTrace(func(at sim.Time, m netsim.Message, kind string) {
 		if tracing {
-			events = append(events, event{at: at, kind: kind, m: m})
+			events = append(events, traceEvent{At: at, Kind: kind, Msg: m})
 		}
 	})
 	name := func(id netsim.NodeID) string { return cl.Net.Node(id).Name }
 
+	var fail error
 	cl.Spawn("trace", func(p *lwfs.Proc) {
-		// Untraced setup.
-		if err := c.Login(p, "u", "pw"); err != nil {
-			log.Fatal(err)
+		abort := func(err error) bool {
+			if err != nil && fail == nil {
+				fail = err
+			}
+			return err != nil
 		}
-		cid, _ := c.CreateContainer(p)
+		// Untraced setup.
+		if abort(c.Login(p, "u", "pw")) {
+			return
+		}
+		cid, err := c.CreateContainer(p)
+		if abort(err) {
+			return
+		}
 		caps, err := c.GetCaps(p, cid, lwfs.AllOps...)
-		if err != nil {
-			log.Fatal(err)
+		if abort(err) {
+			return
 		}
 		ref, err := c.CreateObject(p, c.Server(0), caps)
-		if err != nil {
-			log.Fatal(err)
+		if abort(err) {
+			return
 		}
-		if _, err := c.Write(p, ref, caps, 0, lwfs.Synthetic(*size<<10)); err != nil {
-			log.Fatal(err)
+		if _, err := c.Write(p, ref, caps, 0, lwfs.Synthetic(kb<<10)); abort(err) {
+			return
 		}
 
-		switch *op {
+		switch op {
 		case "getcaps":
 			// Fresh principal state so the authn consult shows up: expire
 			// the credential cache by using a brand-new container.
 			tracing = true
 			cid2, err := c.CreateContainer(p)
-			if err != nil {
-				log.Fatal(err)
+			if abort(err) {
+				return
 			}
-			if _, err := c.GetCaps(p, cid2, lwfs.OpWrite, lwfs.OpRead); err != nil {
-				log.Fatal(err)
-			}
+			_, err = c.GetCaps(p, cid2, lwfs.OpWrite, lwfs.OpRead)
+			abort(err)
 		case "write":
 			tracing = true
-			if _, err := c.Write(p, ref, caps, 0, lwfs.Synthetic(*size<<10)); err != nil {
-				log.Fatal(err)
-			}
+			_, err := c.Write(p, ref, caps, 0, lwfs.Synthetic(kb<<10))
+			abort(err)
 		case "read":
 			tracing = true
-			if _, err := c.Read(p, ref, caps, 0, *size<<10); err != nil {
-				log.Fatal(err)
-			}
+			_, err := c.Read(p, ref, caps, 0, kb<<10)
+			abort(err)
 		case "revoke":
 			tracing = true
-			if err := c.Revoke(p, cid, lwfs.OpWrite); err != nil {
-				log.Fatal(err)
-			}
+			abort(c.Revoke(p, cid, lwfs.OpWrite))
 		default:
-			log.Fatalf("unknown -op %q", *op)
+			abort(fmt.Errorf("unknown -op %q", op))
 		}
 		tracing = false
 	})
 	if err := cl.Run(); err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
+	if fail != nil {
+		return nil, nil, fail
+	}
+	return events, name, nil
+}
 
-	fmt.Printf("# protocol trace: %s (%d KiB)\n", *op, *size)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+// render prints the captured trace as the command's tab-aligned table.
+func render(w io.Writer, op string, kb int64, events []traceEvent, name func(netsim.NodeID) string) {
+	fmt.Fprintf(w, "# protocol trace: %s (%d KiB)\n", op, kb)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "virtual time\tevent\tfrom\tto\tbytes\tbody")
 	var t0 sim.Time
 	for i, e := range events {
 		if i == 0 {
-			t0 = e.at
+			t0 = e.At
 		}
-		fmt.Fprintf(tw, "+%v\t%s\t%s\t%s\t%d\t%T\n",
-			e.at.Sub(t0), e.kind, name(e.m.From), name(e.m.To), e.m.Size, e.m.Body)
+		fmt.Fprintf(tw, "+%v\t%s\t%s\t%s\t%d\t%s\n",
+			e.At.Sub(t0), e.Kind, name(e.Msg.From), name(e.Msg.To), e.Msg.Size, portals.DescribeBody(e.Msg.Body))
 	}
 	tw.Flush()
-	fmt.Printf("# %d messages\n", len(events)/2)
+	fmt.Fprintf(w, "# %d messages\n", len(events)/2)
+}
+
+func main() {
+	op := flag.String("op", "write", "getcaps|write|read|revoke")
+	size := flag.Int64("kb", 256, "transfer size in KiB (write/read)")
+	flag.Parse()
+
+	events, name, err := runTrace(*op, *size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	render(os.Stdout, *op, *size, events, name)
 }

@@ -1,0 +1,442 @@
+// Package burst implements a burst-buffer staging tier between compute
+// clients and storage servers — the write-behind checkpoint absorber the
+// paper's layered design invites as a policy library above the fixed core
+// (§3, Figures 2–3; §4 motivates it: applications need to absorb a
+// synchronized write burst and get back to computing).
+//
+// A burst.Server accepts capability-checked writes into a bounded
+// in-memory staging area using the same server-directed pull protocol as
+// storage (§3.2): the buffer pulls the client's data at its own pace, so a
+// burst of requests never overwhelms receive buffers. The client is
+// acknowledged as soon as the pull lands — long before the data is on
+// disk. A pool of background drain workers then streams staged extents to
+// the real storage servers with bounded in-flight RPCs, retry via
+// portals.RetryPolicy, and per-extent sync, releasing staging capacity as
+// extents become durable.
+//
+// Backpressure: when the staging area cannot hold a new extent, the write
+// degrades to a synchronous pass-through — the buffer pulls the data and
+// relays it straight to storage before acknowledging — so capacity
+// exhaustion costs latency, never failures.
+//
+// Durability contract: staged-but-undrained data is volatile. A buffer
+// crash loses it, and a subsequent DrainWait for the lost extents reports
+// ErrLost instead of hanging, so a layer that commits only after DrainWait
+// succeeds (the checkpoint manifest) turns a buffer crash into a
+// detectable aborted dump, never silent corruption.
+package burst
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/netsim"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/stats"
+	"lwfs/internal/storage"
+)
+
+// Well-known portal indexes. A node hosting several burst servers spaces
+// them with PortalStride.
+const (
+	// DefaultPort receives staging requests.
+	DefaultPort portals.Index = 40
+	// PortalStride separates co-located burst servers' portal triples.
+	PortalStride = 4
+)
+
+// Errors reported by the burst service.
+var (
+	// ErrNoCap is returned for requests carrying no capability.
+	ErrNoCap = errors.New("burst: request carried no capability")
+	// ErrWrongOp is returned when the capability does not authorize writes.
+	ErrWrongOp = errors.New("burst: capability does not authorize writes")
+	// ErrCapRejected wraps an authorization-service rejection.
+	ErrCapRejected = errors.New("burst: capability rejected by authorization service")
+	// ErrLost is returned by DrainWait for an extent this buffer does not
+	// hold — staged before a crash (and lost with the buffer's memory) or
+	// never staged here at all. Either way the data's durability cannot be
+	// vouched for and the caller must treat the dump as aborted.
+	ErrLost = errors.New("burst: staged data lost (buffer crashed before drain?)")
+	// ErrDrainFailed is returned by DrainWait when a drain exhausted its
+	// retry budget against the backing storage server.
+	ErrDrainFailed = errors.New("burst: drain to storage failed")
+)
+
+// Config tunes a burst-buffer server.
+type Config struct {
+	Threads       int           // concurrent staging request service processes
+	ChunkSize     int64         // bulk-transfer granularity for client pulls
+	PinnedBuffer  int64         // pull-buffer pool bound, bytes
+	StageCapacity int64         // staging-area bound, bytes (write-behind window)
+	OpCost        time.Duration // CPU cost to parse/dispatch a request
+
+	DrainWorkers int     // concurrent drain streams (bounds in-flight RPCs)
+	DrainBW      float64 // drain pacing, bytes/s per worker (0 = unpaced)
+	// DrainRetry arms the drain path's storage RPCs; a lossy fabric between
+	// buffer and storage then costs drain latency, not staged data.
+	DrainRetry portals.RetryPolicy
+}
+
+// DefaultConfig returns defaults sized for the dev-cluster calibration: a
+// staging window of 64 MB absorbs a few ranks' checkpoint burst per buffer.
+func DefaultConfig() Config {
+	return Config{
+		Threads:       4,
+		ChunkSize:     1 << 20,
+		PinnedBuffer:  8 << 20,
+		StageCapacity: 64 << 20,
+		OpCost:        20 * time.Microsecond,
+		DrainWorkers:  2,
+	}
+}
+
+// Target names a burst server: a node and RPC portal pair.
+type Target struct {
+	Node netsim.NodeID
+	Port portals.Index
+}
+
+// request bodies
+
+type stageReq struct {
+	Cap        authz.Capability
+	Ref        storage.ObjRef // destination object on the backing store
+	Off        int64
+	Len        int64
+	Bits       portals.MatchBits // where the client's buffer is matched
+	DataPortal portals.Index
+}
+
+type stageResp struct {
+	Staged bool // false: staging was full, the write passed through synchronously
+}
+
+type drainWaitReq struct {
+	Refs []storage.ObjRef
+}
+
+// extent is one staged write awaiting drain.
+type extent struct {
+	ref      storage.ObjRef
+	cap      authz.Capability
+	off      int64
+	payload  netsim.Payload
+	stagedAt sim.Time
+	epoch    uint64 // discard if the server crashed since staging
+}
+
+// Server is one burst-buffer node's staging service.
+type Server struct {
+	ep        *portals.Endpoint
+	az        *authz.Client
+	sc        *storage.Client
+	cfg       Config
+	name      string
+	rpcPort   portals.Index
+	cachePort portals.Index
+	waitPort  portals.Index
+	bufPool   *sim.Resource
+
+	// stageAvail is the remaining staging window. Admission is
+	// try-acquire-only (a full window degrades to pass-through, it never
+	// blocks), so a plain counter suffices and — unlike sim.Resource — can
+	// be reset wholesale when a crash vaporizes the staged contents.
+	stageAvail int64
+	drainq     *sim.Mailbox
+	epoch      uint64
+
+	// Per-destination bookkeeping for DrainWait. seen records every ref
+	// this incarnation has absorbed (staged or passed through); pending
+	// counts its extents not yet durable; failed marks refs whose drain
+	// exhausted its retries. All three are volatile: a crash clears them,
+	// which is exactly what makes lost data detectable.
+	seen    map[storage.ObjRef]bool
+	pending map[storage.ObjRef]int
+	failed  map[storage.ObjRef]bool
+
+	capCache map[uint64]authz.Capability
+
+	staged       int64 // extents absorbed into the staging area
+	passthroughs int64 // writes degraded to synchronous pass-through
+	stagedBytes  int64
+	drainedBytes int64
+	drainLat     stats.Sample // staging-ack to durable, milliseconds
+
+	rpc, waitRPC, cacheRPC *portals.Server
+}
+
+// Start binds a burst server to ep's node at the given RPC portal, with its
+// capability-invalidation portal at port+1 and the drain-wait portal at
+// port+2. az verifies capabilities; drains go out through a dedicated
+// storage client armed with cfg.DrainRetry.
+func Start(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, cfg Config) *Server {
+	if cfg.Threads <= 0 || cfg.ChunkSize <= 0 || cfg.PinnedBuffer < cfg.ChunkSize ||
+		cfg.StageCapacity <= 0 || cfg.DrainWorkers <= 0 {
+		panic(fmt.Sprintf("burst: bad config %+v", cfg))
+	}
+	name := fmt.Sprintf("burst%d", ep.Node())
+	caller := portals.NewCaller(ep)
+	if cfg.DrainRetry.Enabled() {
+		caller.SetRetry(cfg.DrainRetry, sim.NewRand(int64(ep.Node())))
+	}
+	s := &Server{
+		ep:         ep,
+		az:         az,
+		sc:         storage.NewClient(caller),
+		cfg:        cfg,
+		name:       name,
+		rpcPort:    rpcPort,
+		cachePort:  rpcPort + 1,
+		waitPort:   rpcPort + 2,
+		bufPool:    sim.NewResource(ep.Kernel(), name+"/pinned", cfg.PinnedBuffer),
+		stageAvail: cfg.StageCapacity,
+		drainq:     sim.NewMailbox(ep.Kernel(), name+"/drainq"),
+		seen:       make(map[storage.ObjRef]bool),
+		pending:    make(map[storage.ObjRef]int),
+		failed:     make(map[storage.ObjRef]bool),
+		capCache:   make(map[uint64]authz.Capability),
+	}
+	s.rpc = portals.Serve(ep, s.rpcPort, name, cfg.Threads, s.handle)
+	s.cacheRPC = portals.Serve(ep, s.cachePort, name+"/capcache", 1, s.handleInvalidate)
+	// Drain waits block their worker until the staged extents are durable,
+	// so they get their own small thread pool: a waiter must never starve
+	// the staging path (which is what fills the queue the waiter watches).
+	s.waitRPC = portals.Serve(ep, s.waitPort, name+"/wait", 2, s.handleWait)
+	for i := 0; i < cfg.DrainWorkers; i++ {
+		ep.Kernel().SpawnDaemon(fmt.Sprintf("%s/drain%d", name, i), s.drainWorker)
+	}
+	return s
+}
+
+// Node returns the node the server runs on.
+func (s *Server) Node() netsim.NodeID { return s.ep.Node() }
+
+// RPCPort returns the server's staging request portal.
+func (s *Server) RPCPort() portals.Index { return s.rpcPort }
+
+// Tgt returns the server's target descriptor.
+func (s *Server) Tgt() Target { return Target{Node: s.Node(), Port: s.rpcPort} }
+
+// Staged reports extents absorbed into the staging area.
+func (s *Server) Staged() int64 { return s.staged }
+
+// Passthroughs reports writes that degraded to synchronous pass-through
+// because the staging window was full.
+func (s *Server) Passthroughs() int64 { return s.passthroughs }
+
+// StagedBytes and DrainedBytes report absorbed and drained volume.
+func (s *Server) StagedBytes() int64  { return s.stagedBytes }
+func (s *Server) DrainedBytes() int64 { return s.drainedBytes }
+
+// StageAvail reports the free staging window, bytes.
+func (s *Server) StageAvail() int64 { return s.stageAvail }
+
+// DrainLatencies returns the per-extent staging-ack-to-durable latencies
+// observed so far, in milliseconds.
+func (s *Server) DrainLatencies() *stats.Sample { return &s.drainLat }
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool { return s.rpc.Down() }
+
+// Crash fail-stops the buffer: the RPC ports stop answering and the staged
+// contents — in-memory only — are gone, along with the bookkeeping that
+// could vouch for them. Queued drain work is discarded; a drain already in
+// flight is voided (its results are not recorded even if the storage write
+// lands, mirroring a process whose memory died mid-operation).
+func (s *Server) Crash() {
+	s.rpc.SetDown(true)
+	s.waitRPC.SetDown(true)
+	s.cacheRPC.SetDown(true)
+	s.epoch++
+	for {
+		if _, ok := s.drainq.TryRecv(); !ok {
+			break
+		}
+	}
+	s.seen = make(map[storage.ObjRef]bool)
+	s.pending = make(map[storage.ObjRef]int)
+	s.failed = make(map[storage.ObjRef]bool)
+	s.capCache = make(map[uint64]authz.Capability)
+	s.stageAvail = s.cfg.StageCapacity
+}
+
+// Restart brings a crashed buffer back with an empty staging area. Extents
+// staged before the crash are gone; DrainWait for them reports ErrLost.
+func (s *Server) Restart() {
+	s.rpc.SetDown(false)
+	s.waitRPC.SetDown(false)
+	s.cacheRPC.SetDown(false)
+}
+
+func (s *Server) handleInvalidate(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
+	inv, ok := req.(authz.InvalidateCaps)
+	if !ok {
+		return nil, fmt.Errorf("burst: bad invalidation %T", req)
+	}
+	for _, id := range inv.CapIDs {
+		delete(s.capCache, id)
+	}
+	return nil, nil
+}
+
+// checkCap enforces policy on the staging path: the capability must be
+// genuine (cached or verified with the authorization service) and authorize
+// writes. The container binding is enforced again by the backing storage
+// server when the extent drains — the buffer holds no device metadata to
+// check it against earlier.
+func (s *Server) checkCap(p *sim.Proc, c authz.Capability) error {
+	if c == (authz.Capability{}) {
+		return ErrNoCap
+	}
+	if c.Op != authz.OpWrite {
+		return fmt.Errorf("%w: have %v", ErrWrongOp, c.Op)
+	}
+	if cached, ok := s.capCache[c.ID]; ok && cached == c && s.ep.Kernel().Now() <= c.Expires {
+		return nil
+	}
+	delete(s.capCache, c.ID)
+	if err := s.az.VerifyCaps(p, []authz.Capability{c}, s.cachePort); err != nil {
+		return fmt.Errorf("%w: %w", ErrCapRejected, err)
+	}
+	s.capCache[c.ID] = c
+	return nil
+}
+
+func (s *Server) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
+	p.Sleep(s.cfg.OpCost)
+	r, ok := req.(stageReq)
+	if !ok {
+		return nil, fmt.Errorf("burst: unknown request %T", req)
+	}
+	if err := s.checkCap(p, r.Cap); err != nil {
+		return nil, err
+	}
+	if r.Len <= s.stageAvail {
+		return s.stage(p, from, r)
+	}
+	return s.passthrough(p, from, r)
+}
+
+// stage absorbs the write into the staging window and acknowledges as soon
+// as the pull lands: write-behind. The extent is queued for the drainers.
+func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}, error) {
+	s.stageAvail -= r.Len
+	var buf []byte
+	synthetic := false
+	_, err := storage.ChunkedPull(p, s.ep, s.name, from, r.DataPortal, r.Bits, r.Len, s.cfg.ChunkSize, s.bufPool,
+		func(q *sim.Proc, off int64, chunk netsim.Payload) error {
+			if chunk.Data == nil {
+				synthetic = true
+				return nil
+			}
+			if buf == nil {
+				buf = make([]byte, r.Len)
+			}
+			copy(buf[off:], chunk.Data)
+			return nil
+		})
+	if err != nil {
+		s.stageAvail += r.Len
+		return nil, err
+	}
+	staged := netsim.Payload{Size: r.Len, Data: buf}
+	if synthetic {
+		staged.Data = nil
+	}
+	s.staged++
+	s.stagedBytes += r.Len
+	s.seen[r.Ref] = true
+	s.pending[r.Ref]++
+	s.drainq.Send(extent{ref: r.Ref, cap: r.Cap, off: r.Off, payload: staged, stagedAt: p.Now(), epoch: s.epoch})
+	return stageResp{Staged: true}, nil
+}
+
+// passthrough is the backpressure path: with no staging room, the buffer
+// relays each pulled chunk straight to the backing store and syncs before
+// acknowledging — the client sees direct-write latency, never a failure.
+func (s *Server) passthrough(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}, error) {
+	_, err := storage.ChunkedPull(p, s.ep, s.name, from, r.DataPortal, r.Bits, r.Len, s.cfg.ChunkSize, s.bufPool,
+		func(q *sim.Proc, off int64, chunk netsim.Payload) error {
+			_, werr := s.sc.Write(q, r.Ref, r.Cap, r.Off+off, chunk)
+			return werr
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.sc.Sync(p, storage.TargetOf(r.Ref), r.Cap); err != nil {
+		return nil, err
+	}
+	s.passthroughs++
+	s.seen[r.Ref] = true // durable already: pending stays zero
+	return stageResp{Staged: false}, nil
+}
+
+// drainWorker streams staged extents to the backing store. Each worker has
+// at most one storage RPC in flight, so DrainWorkers bounds the tier's
+// drain concurrency; DrainBW paces the stream to model a throttled drain
+// link; DrainRetry rides out fabric loss.
+func (s *Server) drainWorker(p *sim.Proc) {
+	for {
+		e := s.drainq.Recv(p).(extent)
+		if e.epoch != s.epoch {
+			continue // staged before a crash: the memory backing it is gone
+		}
+		if s.cfg.DrainBW > 0 {
+			p.Sleep(sim.Rate(e.payload.Size, s.cfg.DrainBW))
+		}
+		_, err := s.sc.Write(p, e.ref, e.cap, e.off, e.payload)
+		if err == nil {
+			err = s.sc.Sync(p, storage.TargetOf(e.ref), e.cap)
+		}
+		if e.epoch != s.epoch {
+			continue // crashed mid-drain: this incarnation cannot vouch for it
+		}
+		if err != nil {
+			s.failed[e.ref] = true
+			s.pending[e.ref]--
+			continue
+		}
+		s.stageAvail += e.payload.Size
+		s.drainedBytes += e.payload.Size
+		s.drainLat.Add(float64(p.Now().Sub(e.stagedAt)) / float64(time.Millisecond))
+		s.pending[e.ref]--
+	}
+}
+
+// drainPoll is how often a blocked DrainWait re-examines the pending set.
+const drainPoll = 500 * time.Microsecond
+
+// handleWait serves DrainWait: it returns once every requested ref is
+// durable on the backing store, or fails fast when a ref is unknown to
+// this incarnation (ErrLost — the buffer crashed after staging it) or its
+// drain gave up (ErrDrainFailed).
+func (s *Server) handleWait(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
+	r, ok := req.(drainWaitReq)
+	if !ok {
+		return nil, fmt.Errorf("burst: unknown wait request %T", req)
+	}
+	epoch := s.epoch
+	for {
+		done := true
+		for _, ref := range r.Refs {
+			if epoch != s.epoch || !s.seen[ref] {
+				return nil, fmt.Errorf("%w: obj %d on server %d:%d", ErrLost, uint64(ref.ID), ref.Node, ref.Port)
+			}
+			if s.failed[ref] {
+				return nil, fmt.Errorf("%w: obj %d on server %d:%d", ErrDrainFailed, uint64(ref.ID), ref.Node, ref.Port)
+			}
+			if s.pending[ref] > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil, nil
+		}
+		p.Sleep(drainPoll)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lwfs/internal/authz"
+	"lwfs/internal/burst"
 	"lwfs/internal/cluster"
 	"lwfs/internal/core"
 	"lwfs/internal/netsim"
@@ -50,6 +51,28 @@ type Config struct {
 	// redirected to a different server. Costs real allocation per rank;
 	// leave it off for large performance sweeps.
 	PatternData bool
+	// Burst, when non-empty, routes every rank's dump through the burst
+	// staging tier (rank i stages via Burst[i%len(Burst)]): the rank is
+	// acked as soon as the buffer holds its state, and the manifest commit
+	// waits for the drains. Elapsed then measures *apparent* checkpoint
+	// time and Durable the commit-inclusive tail; a buffer crash before
+	// drain aborts the whole dump (Aborted) instead of committing a
+	// manifest over lost data.
+	Burst []burst.Target
+	// DrainTimeout bounds the commit tail's per-buffer drain wait (0 =
+	// 5 s default, negative = wait forever). A crashed buffer surfaces as
+	// a timeout after this long, turning into a detectable abort.
+	DrainTimeout time.Duration
+}
+
+func (c Config) drainTimeout() time.Duration {
+	switch {
+	case c.DrainTimeout < 0:
+		return 0 // indefinite
+	case c.DrainTimeout == 0:
+		return 5 * time.Second
+	}
+	return c.DrainTimeout
 }
 
 // PatternFor returns rank's checkpoint payload: a deterministic
@@ -90,6 +113,15 @@ type Result struct {
 	Elapsed  time.Duration // max process total (the paper's metric)
 	MaxTimes ProcTimes     // max per phase across processes
 	Per      []ProcTimes
+	// Durable is the full commit-inclusive time as seen by rank 0: through
+	// the metadata tail, any burst-tier drains, and the transaction commit.
+	// Without a burst tier it tracks rank 0's total; with one, the gap
+	// Durable−Elapsed is exactly the latency the write-behind tier hides.
+	Durable time.Duration
+	// Aborted is set when the checkpoint transaction had to be rolled back
+	// (burst mode: staged state was lost before it drained). The dump left
+	// no committed manifest — a restore attempt fails cleanly.
+	Aborted bool
 }
 
 // ThroughputMBs reports the paper's Figure 9 metric: aggregate MB/s.
@@ -122,6 +154,11 @@ func RunLWFS(spec cluster.Spec, cfg Config) (Result, error) {
 	cl := cluster.New(spec)
 	cl.RegisterUser("app", "s3cret")
 	l := cl.DeployLWFS()
+	if len(cfg.Burst) == 0 {
+		// A spec with burst nodes implies routing through them; targets are
+		// only known post-deploy, so fill them in here.
+		cfg.Burst = l.BurstTargets()
+	}
 	res, err := SetupLWFS(cl, l, cfg)
 	if err != nil {
 		return Result{}, err
@@ -141,12 +178,18 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 
 	res := Result{Procs: cfg.Procs, Bytes: int64(cfg.Procs) * cfg.BytesPerProc}
 	clients := make([]*core.Client, cfg.Procs)
+	bclients := make([]*burst.Client, cfg.Procs)
 	for i := range clients {
 		clients[i] = cl.NewClient(l, i)
 		if cfg.Retry.Enabled() {
 			// Per-rank jitter seeds keep chaos runs deterministic while
 			// decorrelating the ranks' backoff schedules.
 			clients[i].SetRetry(cfg.Retry, cfg.Seed+int64(i+1)*1000003)
+		}
+		if len(cfg.Burst) > 0 {
+			// Shares the core client's caller, so staging rides the same
+			// retry policy (and the buffer's dedup keeps it exactly-once).
+			bclients[i] = burst.NewClient(clients[i].Caller())
 		}
 	}
 	// Gather channel for the metadata phase (rank 0 collects ObjRefs).
@@ -196,7 +239,7 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 
 		start := p.Now()
 		p.Sleep(jitters[0])
-		t := dumpLWFS(p, c, caps, h, 0, placement, cfg)
+		t := dumpRank(p, c, bclients[0], caps, h, 0, placement, cfg)
 
 		// Metadata gather: collect every rank's ObjRef, write the metadata
 		// object, create the name, commit (the Figure 8 tail).
@@ -207,29 +250,49 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			m := gather.Recv(p).(gatherMsg)
 			refs[m.rank] = m.ref
 		}
-		// Ranks that finished on a server a later rank saw die must be
-		// re-homed before the manifest is written: a failed server's journal
-		// replay deletes its provisional creates by presumed abort.
-		var mdT ProcTimes
-		if err := rehomeFailed(p, c, caps, h, refs, placement, cfg, &mdT); err != nil {
-			panic(fmt.Sprintf("re-home: %v", err))
-		}
-		mdRef, err := writeObjectFailover(p, c, caps, h, placement,
-			netsim.BytesPayload(EncodeMetadata(refs, cfg.BytesPerProc)), false, &mdT)
-		if err != nil {
-			panic(fmt.Sprintf("md object: %v", err))
-		}
-		// Only now, with every reference on a surviving server, drop the
-		// failed servers from the commit set.
-		sealTxn(h, refs, mdRef)
-		if err := c.CreateName(p, "/ckpt-0001", mdRef, tx); err != nil {
-			panic(fmt.Sprintf("name: %v", err))
-		}
-		if err := tx.Commit(p); err != nil {
-			panic(fmt.Sprintf("commit: %v", err))
+		// Burst mode: the commit only ever covers drained data. Wait for
+		// every buffer to vouch for its extents; if one cannot (crashed and
+		// lost staged state, drain gave up, or it stopped answering), roll
+		// the whole checkpoint back — the provisional creates are removed by
+		// the participants' abort path, so a restore never sees a manifest
+		// over partially drained objects.
+		if err := waitDrains(p, bclients[0], refs, cfg); err != nil {
+			if aerr := tx.Abort(p); aerr != nil {
+				panic(fmt.Sprintf("abort after %v: %v", err, aerr))
+			}
+			res.Aborted = true
+		} else {
+			// Ranks that finished on a server a later rank saw die must be
+			// re-homed before the manifest is written: a failed server's journal
+			// replay deletes its provisional creates by presumed abort.
+			var mdT ProcTimes
+			if err := rehomeFailed(p, c, caps, h, refs, placement, cfg, &mdT); err != nil {
+				panic(fmt.Sprintf("re-home: %v", err))
+			}
+			mdRef, err := writeObjectFailover(p, c, caps, h, placement,
+				netsim.BytesPayload(EncodeMetadata(refs, cfg.BytesPerProc)), false, &mdT)
+			if err != nil {
+				panic(fmt.Sprintf("md object: %v", err))
+			}
+			// Only now, with every reference on a surviving server, drop the
+			// failed servers from the commit set.
+			sealTxn(h, refs, mdRef)
+			if err := c.CreateName(p, "/ckpt-0001", mdRef, tx); err != nil {
+				panic(fmt.Sprintf("name: %v", err))
+			}
+			if err := tx.Commit(p); err != nil {
+				panic(fmt.Sprintf("commit: %v", err))
+			}
 		}
 		t.t.Close = p.Now().Sub(tailStart)
-		t.t.Total = p.Now().Sub(start)
+		if len(cfg.Burst) > 0 {
+			// Apparent time: the application resumes computing at the ack,
+			// not at the commit — the tail is what the tier hides.
+			t.t.Total = tailStart.Sub(start)
+		} else {
+			t.t.Total = p.Now().Sub(start)
+		}
+		res.Durable = p.Now().Sub(start)
 		res.fold(t.t)
 		done.Send(struct{}{})
 	})
@@ -244,7 +307,7 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			}
 			start := p.Now()
 			p.Sleep(jitters[i])
-			t := dumpLWFS(p, c, sh.caps, sh.tx, i, placement, cfg)
+			t := dumpRank(p, c, bclients[i], sh.caps, sh.tx, i, placement, cfg)
 			gather.Send(gatherMsg{rank: i, ref: t.ref})
 			t.t.Total = p.Now().Sub(start)
 			res.fold(t.t)
@@ -291,6 +354,68 @@ func (h *txnHandle) markFailed(e txn.Endpoint) {
 type dumpOut struct {
 	t   ProcTimes
 	ref storage.ObjRef
+}
+
+// dumpRank runs one rank's dump: through the burst tier when the config
+// routes it there, or straight at the storage servers otherwise.
+func dumpRank(p *sim.Proc, c *core.Client, bc *burst.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
+	if len(cfg.Burst) > 0 {
+		return dumpViaBurst(p, c, bc, caps, h, rank, placement, cfg)
+	}
+	return dumpLWFS(p, c, caps, h, rank, placement, cfg)
+}
+
+// dumpViaBurst is the write-behind CHECKPOINT body: the object is still
+// created (transactionally) at its storage server, but the state dump is
+// handed to a burst buffer, which acks as soon as its pull lands and makes
+// the data durable later. There is no per-rank sync — durability is the
+// drain's job, and the commit tail refuses to seal the manifest until every
+// buffer vouches for it. Under backpressure (full staging window) the
+// buffer degrades to a synchronous relay and the ack time simply grows.
+func dumpViaBurst(p *sim.Proc, c *core.Client, bc *burst.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
+	var out dumpOut
+	t0 := p.Now()
+	tgt := c.Server(rank + placement)
+	ref, err := c.CreateObjectTxn(p, tgt, caps, h.tx)
+	if err != nil {
+		panic(fmt.Sprintf("rank %d create: %v", rank, err))
+	}
+	out.t.Create = p.Now().Sub(t0)
+
+	t1 := p.Now()
+	bt := cfg.Burst[rank%len(cfg.Burst)]
+	if _, err := bc.StageWrite(p, bt, ref, caps.Get(authz.OpWrite), 0, payloadFor(rank, cfg)); err != nil {
+		panic(fmt.Sprintf("rank %d stage: %v", rank, err))
+	}
+	out.t.Write = p.Now().Sub(t1)
+	out.ref = ref
+	out.t.Total = p.Now().Sub(t0)
+	return out
+}
+
+// waitDrains is the burst-mode commit gate: every rank's object must be
+// durable on its storage server before the manifest may exist. Refs are
+// grouped back onto the buffer that staged them (rank i → Burst[i%n], the
+// same rotation dumpViaBurst used) and each buffer is polled with one
+// bounded wait. Returns nil immediately when the config has no burst tier.
+func waitDrains(p *sim.Proc, bc *burst.Client, refs []storage.ObjRef, cfg Config) error {
+	nb := len(cfg.Burst)
+	if nb == 0 {
+		return nil
+	}
+	byBuffer := make([][]storage.ObjRef, nb)
+	for rank, ref := range refs {
+		byBuffer[rank%nb] = append(byBuffer[rank%nb], ref)
+	}
+	for bi, group := range byBuffer {
+		if len(group) == 0 {
+			continue
+		}
+		if err := bc.DrainWait(p, cfg.Burst[bi], group, cfg.drainTimeout()); err != nil {
+			return fmt.Errorf("checkpoint: drain wait on buffer %d: %w", bi, err)
+		}
+	}
+	return nil
 }
 
 // dumpLWFS is one process's CHECKPOINT body: CREATEOBJ + DUMPSTATE + sync,

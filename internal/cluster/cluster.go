@@ -17,6 +17,7 @@ import (
 
 	"lwfs/internal/authn"
 	"lwfs/internal/authz"
+	"lwfs/internal/burst"
 	"lwfs/internal/core"
 	"lwfs/internal/naming"
 	"lwfs/internal/netsim"
@@ -38,12 +39,19 @@ type Spec struct {
 	StorageNodes   int
 	ServersPerNode int // storage servers (OSTs) per storage node
 
+	// BurstNodes adds a burst-buffer staging tier between the compute and
+	// storage partitions: nodes whose servers absorb write bursts into
+	// memory and drain them to the storage servers asynchronously (0 = no
+	// tier; the pre-burst topology).
+	BurstNodes int
+
 	NICBandwidth float64       // bytes/s, per node, each direction
 	Latency      time.Duration // fabric latency
 	SWOverhead   time.Duration // per-message receive processing
 
 	Disk    osd.DiskParams
 	Storage storage.Config
+	Burst   burst.Config // burst-tier tuning (used when BurstNodes > 0)
 
 	// MDSOpCost is the centralized metadata server's per-operation service
 	// time — the knob behind Figure 10b (used by the baseline PFS).
@@ -70,6 +78,7 @@ func DevCluster() Spec {
 		SWOverhead:     2 * time.Microsecond,
 		Disk:           osd.DefaultDiskParams(),
 		Storage:        storage.DefaultConfig(),
+		Burst:          burst.DefaultConfig(),
 		MDSOpCost:      1300 * time.Microsecond, // ~770 creates/s, Figure 10b
 		MDSThreads:     4,
 	}
@@ -108,6 +117,7 @@ func RedStorm() Spec {
 		SWOverhead:     time.Microsecond,
 		Disk:           disk,
 		Storage:        storage.DefaultConfig(),
+		Burst:          burst.DefaultConfig(),
 		MDSOpCost:      1300 * time.Microsecond,
 		MDSThreads:     4,
 	}
@@ -143,6 +153,7 @@ type Cluster struct {
 
 	Admin    *portals.Endpoint
 	StorageN []*portals.Endpoint // one per storage node
+	BurstN   []*portals.Endpoint // one per burst-buffer node
 	ComputeN []*portals.Endpoint // one per compute node
 
 	Realm *authn.Realm
@@ -163,6 +174,10 @@ func New(spec Spec) *Cluster {
 		nd := net.AddNode(fmt.Sprintf("io%d", i), cfg)
 		c.StorageN = append(c.StorageN, portals.NewEndpoint(net, nd))
 	}
+	for i := 0; i < spec.BurstNodes; i++ {
+		nd := net.AddNode(fmt.Sprintf("bb%d", i), cfg)
+		c.BurstN = append(c.BurstN, portals.NewEndpoint(net, nd))
+	}
 	for i := 0; i < spec.ComputeNodes; i++ {
 		nd := net.AddNode(fmt.Sprintf("cn%d", i), cfg)
 		c.ComputeN = append(c.ComputeN, portals.NewEndpoint(net, nd))
@@ -178,7 +193,22 @@ type LWFS struct {
 	Naming  *naming.Service
 	Locks   *txn.LockServer
 	Servers []*storage.Server
+	Burst   []*burst.Server // staging tier, one per burst node (may be empty)
 	Sys     core.System
+}
+
+// BurstTargets returns the staging tier's RPC targets in node order, nil
+// when the cluster has no burst tier (callers then write to storage
+// directly).
+func (l *LWFS) BurstTargets() []burst.Target {
+	if len(l.Burst) == 0 {
+		return nil
+	}
+	ts := make([]burst.Target, len(l.Burst))
+	for i, b := range l.Burst {
+		ts[i] = b.Tgt()
+	}
+	return ts
 }
 
 // DeployLWFS starts the LWFS-core on the cluster: authentication,
@@ -212,6 +242,10 @@ func (c *Cluster) DeployLWFS() *LWFS {
 			l.Servers = append(l.Servers, srv)
 			sys.Storage = append(sys.Storage, storage.Target{Node: ep.Node(), Port: port})
 		}
+	}
+	for _, ep := range c.BurstN {
+		az := authz.NewClient(portals.NewCaller(ep), c.Admin.Node())
+		l.Burst = append(l.Burst, burst.Start(ep, az, burst.DefaultPort, c.Spec.Burst))
 	}
 	l.Sys = sys
 	return l

@@ -1,0 +1,33 @@
+package portals
+
+import "fmt"
+
+// DescribeBody renders a wire-message body for protocol traces. One-sided
+// puts are unwrapped to show the protocol-level header they carry — an RPC
+// request's or response's inner body type — instead of the transport
+// envelope, so a trace of a write reads "put[storage.writeReq]" rather than
+// a wall of "portals.putMsg". Unknown bodies fall back to their Go type.
+func DescribeBody(body interface{}) string {
+	switch b := body.(type) {
+	case putMsg:
+		switch h := b.hdr.(type) {
+		case rpcRequest:
+			return fmt.Sprintf("put[%T]", h.Body)
+		case rpcResponse:
+			if h.Err != nil {
+				return fmt.Sprintf("put[%T err]", h.Body)
+			}
+			return fmt.Sprintf("put[%T]", h.Body)
+		case nil:
+			return "put[data]"
+		default:
+			return fmt.Sprintf("put[%T]", h)
+		}
+	case getReq:
+		return "get"
+	case getReply:
+		return "get-reply"
+	default:
+		return fmt.Sprintf("%T", body)
+	}
+}

@@ -89,6 +89,39 @@ func (s *Sample) Median() float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation between closest ranks — the convention latency reporting
+// uses for p50/p99. Returns 0 for an empty sample; p outside [0, 100] is
+// clamped. Percentile(50) matches Median for odd n and interpolates
+// identically for even n.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := rank - float64(lo)
+	return xs[lo] + frac*(xs[hi]-xs[lo])
+}
+
+// Merge appends every observation of other into s (for aggregating
+// per-server samples into one population before taking percentiles).
+func (s *Sample) Merge(other *Sample) {
+	s.xs = append(s.xs, other.xs...)
+}
+
 // String renders mean ± stddev.
 func (s *Sample) String() string {
 	return fmt.Sprintf("%.1f ± %.1f", s.Mean(), s.StdDev())

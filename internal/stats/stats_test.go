@@ -53,6 +53,80 @@ func TestSingleObservation(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for x := 1; x <= 100; x++ {
+		s.Add(float64(x))
+	}
+	// Linear interpolation between closest ranks over 1..100.
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01}, {25, 25.75},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !almostEqual(got, c.want) {
+			t.Fatalf("p%.0f = %v want %v", c.p, got, c.want)
+		}
+	}
+	// Out-of-range p clamps rather than panicking.
+	if s.Percentile(-5) != 1 || s.Percentile(200) != 100 {
+		t.Fatalf("clamp: %v %v", s.Percentile(-5), s.Percentile(200))
+	}
+	var empty Sample
+	if empty.Percentile(50) != 0 {
+		t.Fatalf("empty percentile = %v", empty.Percentile(50))
+	}
+	var one Sample
+	one.Add(7)
+	if one.Percentile(0) != 7 || one.Percentile(99) != 7 {
+		t.Fatalf("single-observation percentiles: %v %v", one.Percentile(0), one.Percentile(99))
+	}
+}
+
+// Property: percentiles are monotone in p, bounded by [min, max], and p50
+// agrees with Median.
+func TestPercentileInvariants(t *testing.T) {
+	prop := func(xs []float64, aRaw, bRaw uint8) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		a, b := float64(aRaw)*100/255, float64(bRaw)*100/255
+		if a > b {
+			a, b = b, a
+		}
+		if s.Percentile(a) > s.Percentile(b)+1e-9 {
+			return false
+		}
+		if s.Percentile(0) < s.Min()-1e-9 || s.Percentile(100) > s.Max()+1e-9 {
+			return false
+		}
+		return almostEqual(s.Percentile(50), s.Median())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.Merge(&b)
+	if a.N() != 3 || !almostEqual(a.Mean(), 2) {
+		t.Fatalf("merged: n=%d mean=%v", a.N(), a.Mean())
+	}
+	if b.N() != 1 {
+		t.Fatalf("merge mutated source: n=%d", b.N())
+	}
+}
+
 func TestString(t *testing.T) {
 	var s Sample
 	s.Add(10)

@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"fmt"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+)
+
+// ChunkedPull is the server half of the Figure 6 server-directed write,
+// shared by every service that pulls bulk data from a client at its own
+// pace (the storage servers and the burst-buffer staging tier): it streams
+// [0, total) from the initiator's exposed match entry in chunkSize pieces,
+// double-buffered against the pinned pool so the network pull of chunk i+1
+// overlaps sink(i). sink runs in the calling process and consumes each
+// chunk in offset order; once it fails, remaining chunks are still drained
+// (their buffers must return to the pool) but not delivered. It returns the
+// bytes successfully consumed and the first error.
+func ChunkedPull(p *sim.Proc, ep *portals.Endpoint, name string, from netsim.NodeID,
+	dataPortal portals.Index, bits portals.MatchBits, total, chunkSize int64,
+	pool *sim.Resource, sink func(q *sim.Proc, off int64, chunk netsim.Payload) error) (int64, error) {
+
+	k := p.Kernel()
+	chunks := sim.NewMailbox(k, name+"/pull")
+	nchunks := int((total + chunkSize - 1) / chunkSize)
+	// Puller process: pulls chunk after chunk, bounded by the pinned pool.
+	k.Spawn(name+"/puller", func(q *sim.Proc) {
+		for off := int64(0); off < total; off += chunkSize {
+			n := chunkSize
+			if off+n > total {
+				n = total - off
+			}
+			pool.Acquire(q, n)
+			payload, err := ep.Get(q, from, dataPortal, bits, off, n)
+			chunks.Send(pulledChunk{off: off, payload: payload, err: err})
+			if err != nil {
+				// The failed chunk carries no payload; return its buffer
+				// here so the pool is whole for the next request.
+				pool.Release(n)
+				return
+			}
+		}
+	})
+	var consumed int64
+	var firstErr error
+	for i := 0; i < nchunks; i++ {
+		c := chunks.Recv(p).(pulledChunk)
+		if c.err != nil {
+			// The puller exits after a failed Get; no more chunks follow.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("storage: pulling client data: %w", c.err)
+			}
+			break
+		}
+		if firstErr == nil {
+			if err := sink(p, c.off, c.payload); err != nil {
+				firstErr = err
+			} else {
+				consumed += c.payload.Size
+			}
+		}
+		pool.Release(c.payload.Size)
+	}
+	return consumed, firstErr
+}

@@ -503,48 +503,11 @@ type pulledChunk struct {
 // pinned pool so the network pull of chunk i+1 overlaps the disk write of
 // chunk i.
 func (s *Server) pullWrite(p *sim.Proc, from netsim.NodeID, r writeReq) (interface{}, error) {
-	k := p.Kernel()
-	chunks := sim.NewMailbox(k, s.dev.Name()+"/pull")
-	nchunks := int((r.Len + s.cfg.ChunkSize - 1) / s.cfg.ChunkSize)
-	// Puller process: pulls chunk after chunk, bounded by the pinned pool.
-	k.Spawn(s.dev.Name()+"/puller", func(q *sim.Proc) {
-		for off := int64(0); off < r.Len; off += s.cfg.ChunkSize {
-			n := s.cfg.ChunkSize
-			if off+n > r.Len {
-				n = r.Len - off
-			}
-			s.bufPool.Acquire(q, n)
-			payload, err := s.ep.Get(q, from, r.DataPortal, r.Bits, off, n)
-			chunks.Send(pulledChunk{off: off, payload: payload, err: err})
-			if err != nil {
-				// The failed chunk carries no payload; return its buffer
-				// here so the pool is whole for the next request.
-				s.bufPool.Release(n)
-				return
-			}
-		}
-	})
-	var written int64
-	var firstErr error
-	for i := 0; i < nchunks; i++ {
-		c := chunks.Recv(p).(pulledChunk)
-		if c.err != nil {
-			// The puller exits after a failed Get; no more chunks follow.
-			if firstErr == nil {
-				firstErr = fmt.Errorf("storage: pulling client data: %w", c.err)
-			}
-			break
-		}
-		if firstErr == nil {
-			if err := s.dev.Write(p, r.ID, r.Off+c.off, c.payload); err != nil {
-				firstErr = err
-			} else {
-				written += c.payload.Size
-			}
-		}
-		s.bufPool.Release(c.payload.Size)
-	}
-	return written, firstErr
+	written, err := ChunkedPull(p, s.ep, s.dev.Name(), from, r.DataPortal, r.Bits, r.Len, s.cfg.ChunkSize, s.bufPool,
+		func(q *sim.Proc, off int64, chunk netsim.Payload) error {
+			return s.dev.Write(q, r.ID, r.Off+off, chunk)
+		})
+	return written, err
 }
 
 // pushRead implements the server-directed read: the server reads the disk

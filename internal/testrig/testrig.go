@@ -12,8 +12,10 @@ import (
 	"lwfs/internal/authn"
 	"lwfs/internal/authz"
 	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
+	"lwfs/internal/storage"
 )
 
 // MB is a mebibyte.
@@ -76,6 +78,15 @@ func (r *Rig) AuthnClient(i int) *authn.Client {
 // AuthzClient returns an authorization client sending from node i.
 func (r *Rig) AuthzClient(i int) *authz.Client {
 	return authz.NewClient(r.Caller(i), r.Eps[0].Node())
+}
+
+// StorageServer boots a storage server on rig node i, backed by its own
+// fresh device with default disk parameters, at the default RPC portal.
+// Service tests that sit above storage (burst staging, checkpoint pieces)
+// use it instead of re-deriving the device/authz wiring.
+func (r *Rig) StorageServer(i int, cfg storage.Config) *storage.Server {
+	dev := osd.NewDevice(r.K, fmt.Sprintf("osd%d", i), osd.DefaultDiskParams())
+	return storage.Start(r.Eps[i], dev, r.AuthzClient(i), storage.DefaultRPCPort, cfg)
 }
 
 // Go spawns a simulated process.

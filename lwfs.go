@@ -5,6 +5,7 @@ import (
 
 	"lwfs/internal/authn"
 	"lwfs/internal/authz"
+	"lwfs/internal/burst"
 	"lwfs/internal/checkpoint"
 	"lwfs/internal/cluster"
 	"lwfs/internal/core"
@@ -68,6 +69,12 @@ type (
 	// FilterFunc is a server-side filter for active-storage scans (§6
 	// remote processing): it folds object chunks into an accumulator.
 	FilterFunc = storage.FilterFunc
+	// BurstConfig tunes the burst staging tier (Spec.Burst).
+	BurstConfig = burst.Config
+	// BurstTarget names a burst-buffer server (checkpoint.Config.Burst).
+	BurstTarget = burst.Target
+	// BurstClient stages writes through a burst buffer directly.
+	BurstClient = burst.Client
 )
 
 // Container operations.
