@@ -9,6 +9,7 @@
 //	lwfsbench -experiment security          # §3.1 protocol microbenchmarks
 //	lwfsbench -experiment faults            # lossy-fabric degradation sweep
 //	lwfsbench -experiment burst             # burst-tier apparent vs durable sweep
+//	lwfsbench -experiment recovery          # journaled staging under buffer crash
 //	lwfsbench -experiment all
 //
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
@@ -35,7 +36,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -201,6 +202,19 @@ func main() {
 			bo.DrainBWs = []float64{0}
 		}
 		res, err := figures.BurstSweep(bo)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return nil
+	})
+
+	run("recovery", func() error {
+		ro := figures.RecoveryOpts{Trials: *trials, Progress: progress}
+		if *quick {
+			ro.Trials = 2
+		}
+		res, err := figures.RecoverySweep(ro)
 		if err != nil {
 			return err
 		}

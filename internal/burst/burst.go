@@ -19,11 +19,21 @@
 // relays it straight to storage before acknowledging — so capacity
 // exhaustion costs latency, never failures.
 //
-// Durability contract: staged-but-undrained data is volatile. A buffer
-// crash loses it, and a subsequent DrainWait for the lost extents reports
-// ErrLost instead of hanging, so a layer that commits only after DrainWait
-// succeeds (the checkpoint manifest) turns a buffer crash into a
-// detectable aborted dump, never silent corruption.
+// Durability contract: in the default memory-only mode,
+// staged-but-undrained data is volatile. A buffer crash loses it, and a
+// subsequent DrainWait for the lost extents reports ErrLost instead of
+// hanging, so a layer that commits only after DrainWait succeeds (the
+// checkpoint manifest) turns a buffer crash into a detectable aborted dump,
+// never silent corruption.
+//
+// Journaled mode (StartJournaled, LWFS §3.4's journals applied to the
+// staging tier) upgrades the contract: each staged extent is appended to a
+// write-ahead journal on a buffer-local device before the ack, so the ack
+// is a durability promise. A crash then costs bounded recovery latency
+// instead of the window: Restart replays the journal, re-queues the
+// undrained extents, and the drain resumes — see journal.go for the record
+// format, epoch fencing and truncation rule. Memory-only behavior is
+// bit-identical to the pre-journal tier.
 package burst
 
 import (
@@ -33,6 +43,7 @@ import (
 
 	"lwfs/internal/authz"
 	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/stats"
@@ -79,6 +90,19 @@ type Config struct {
 	// DrainRetry arms the drain path's storage RPCs; a lossy fabric between
 	// buffer and storage then costs drain latency, not staged data.
 	DrainRetry portals.RetryPolicy
+
+	// JournalRetain (journaled mode) is the size past which the journal is
+	// truncated at the next quiesce point (no staged extent un-drained).
+	// Below it the journal is retained so a crash shortly *after* the drains
+	// finish can still vouch for the drained refs. 0 = 2× StageCapacity.
+	JournalRetain int64
+}
+
+func (c Config) journalRetain() int64 {
+	if c.JournalRetain > 0 {
+		return c.JournalRetain
+	}
+	return 2 * c.StageCapacity
 }
 
 // DefaultConfig returns defaults sized for the dev-cluster calibration: a
@@ -127,6 +151,7 @@ type extent struct {
 	payload  netsim.Payload
 	stagedAt sim.Time
 	epoch    uint64 // discard if the server crashed since staging
+	seq      uint64 // journal record sequence (0 = memory-only, unjournaled)
 }
 
 // Server is one burst-buffer node's staging service.
@@ -146,8 +171,19 @@ type Server struct {
 	// blocks), so a plain counter suffices and — unlike sim.Resource — can
 	// be reset wholesale when a crash vaporizes the staged contents.
 	stageAvail int64
-	drainq     *sim.Mailbox
+	drainq     *sim.Mailbox // wakeup tokens, one per enqueued extent
+	dq         *drainQueue
 	epoch      uint64
+
+	// Journaled mode (nil jdev = memory-only). jOff is the append cursor,
+	// jseq the last sequence issued, jlive the staged records without a
+	// drained marker (the truncation gate).
+	jdev        *osd.Device
+	jopen       bool
+	jOff        int64
+	jseq        uint64
+	jlive       int
+	truncations int64
 
 	// Per-destination bookkeeping for DrainWait. seen records every ref
 	// this incarnation has absorbed (staged or passed through); pending
@@ -164,16 +200,33 @@ type Server struct {
 	passthroughs int64 // writes degraded to synchronous pass-through
 	stagedBytes  int64
 	drainedBytes int64
+	coalesced    int64        // extents merged away by the drain scheduler
+	drainSyncs   int64        // flush barriers issued against storage
 	drainLat     stats.Sample // staging-ack to durable, milliseconds
 
 	rpc, waitRPC, cacheRPC *portals.Server
 }
 
-// Start binds a burst server to ep's node at the given RPC portal, with its
-// capability-invalidation portal at port+1 and the drain-wait portal at
-// port+2. az verifies capabilities; drains go out through a dedicated
-// storage client armed with cfg.DrainRetry.
+// Start binds a memory-only burst server to ep's node at the given RPC
+// portal, with its capability-invalidation portal at port+1 and the
+// drain-wait portal at port+2. az verifies capabilities; drains go out
+// through a dedicated storage client armed with cfg.DrainRetry.
 func Start(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, cfg Config) *Server {
+	return startServer(ep, az, rpcPort, cfg, nil)
+}
+
+// StartJournaled binds a journaled burst server: every staged extent is
+// appended to a write-ahead journal on jdev (a buffer-local device) before
+// the ack, and Restart replays the journal instead of discarding the
+// staged window.
+func StartJournaled(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, cfg Config, jdev *osd.Device) *Server {
+	if jdev == nil {
+		panic("burst: StartJournaled requires a journal device")
+	}
+	return startServer(ep, az, rpcPort, cfg, jdev)
+}
+
+func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, cfg Config, jdev *osd.Device) *Server {
 	if cfg.Threads <= 0 || cfg.ChunkSize <= 0 || cfg.PinnedBuffer < cfg.ChunkSize ||
 		cfg.StageCapacity <= 0 || cfg.DrainWorkers <= 0 {
 		panic(fmt.Sprintf("burst: bad config %+v", cfg))
@@ -195,6 +248,8 @@ func Start(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, cfg Co
 		bufPool:    sim.NewResource(ep.Kernel(), name+"/pinned", cfg.PinnedBuffer),
 		stageAvail: cfg.StageCapacity,
 		drainq:     sim.NewMailbox(ep.Kernel(), name+"/drainq"),
+		dq:         newDrainQueue(),
+		jdev:       jdev,
 		seen:       make(map[storage.ObjRef]bool),
 		pending:    make(map[storage.ObjRef]int),
 		failed:     make(map[storage.ObjRef]bool),
@@ -235,6 +290,25 @@ func (s *Server) DrainedBytes() int64 { return s.drainedBytes }
 // StageAvail reports the free staging window, bytes.
 func (s *Server) StageAvail() int64 { return s.stageAvail }
 
+// Coalesced reports extents the drain scheduler merged away (each saved
+// one storage write RPC).
+func (s *Server) Coalesced() int64 { return s.coalesced }
+
+// DrainSyncs reports flush barriers issued against storage servers (one
+// per drained batch, not per extent).
+func (s *Server) DrainSyncs() int64 { return s.drainSyncs }
+
+// Journaled reports whether the server stages through a write-ahead
+// journal.
+func (s *Server) Journaled() bool { return s.jdev != nil }
+
+// JournalDevice returns the journal device (nil in memory-only mode).
+func (s *Server) JournalDevice() *osd.Device { return s.jdev }
+
+// JournalTruncations reports how many times the journal was truncated at a
+// quiesce point.
+func (s *Server) JournalTruncations() int64 { return s.truncations }
+
 // DrainLatencies returns the per-extent staging-ack-to-durable latencies
 // observed so far, in milliseconds.
 func (s *Server) DrainLatencies() *stats.Sample { return &s.drainLat }
@@ -246,7 +320,8 @@ func (s *Server) Down() bool { return s.rpc.Down() }
 // contents — in-memory only — are gone, along with the bookkeeping that
 // could vouch for them. Queued drain work is discarded; a drain already in
 // flight is voided (its results are not recorded even if the storage write
-// lands, mirroring a process whose memory died mid-operation).
+// lands, mirroring a process whose memory died mid-operation). In journaled
+// mode the journal device survives — Restart rebuilds the window from it.
 func (s *Server) Crash() {
 	s.rpc.SetDown(true)
 	s.waitRPC.SetDown(true)
@@ -257,19 +332,32 @@ func (s *Server) Crash() {
 			break
 		}
 	}
+	s.dq.clear()
 	s.seen = make(map[storage.ObjRef]bool)
 	s.pending = make(map[storage.ObjRef]int)
 	s.failed = make(map[storage.ObjRef]bool)
 	s.capCache = make(map[uint64]authz.Capability)
 	s.stageAvail = s.cfg.StageCapacity
+	s.jopen = false // the in-memory journal handle died with the process
 }
 
-// Restart brings a crashed buffer back with an empty staging area. Extents
-// staged before the crash are gone; DrainWait for them reports ErrLost.
-func (s *Server) Restart() {
+// Restart brings a crashed buffer back. In memory-only mode extents staged
+// before the crash are gone and DrainWait for them reports ErrLost. In
+// journaled mode the journal is replayed first — staged-but-undrained
+// extents are re-queued and their drain resumes — and only then do the RPC
+// ports reopen, so a DrainWait arriving right after restart already sees
+// the rebuilt bookkeeping. Returns how many extents were recovered.
+func (s *Server) Restart(p *sim.Proc) (recovered int, err error) {
+	if s.jdev != nil {
+		recovered, err = s.replayJournal(p)
+		if err != nil {
+			return recovered, fmt.Errorf("burst: journal replay: %w", err)
+		}
+	}
 	s.rpc.SetDown(false)
 	s.waitRPC.SetDown(false)
 	s.cacheRPC.SetDown(false)
+	return recovered, nil
 }
 
 func (s *Server) handleInvalidate(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
@@ -322,8 +410,10 @@ func (s *Server) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inter
 }
 
 // stage absorbs the write into the staging window and acknowledges as soon
-// as the pull lands: write-behind. The extent is queued for the drainers.
+// as the pull lands (in journaled mode: as soon as the journal append is
+// durable): write-behind. The extent is queued for the drainers.
 func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}, error) {
+	epoch := s.epoch
 	s.stageAvail -= r.Len
 	var buf []byte
 	synthetic := false
@@ -339,6 +429,12 @@ func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}
 			copy(buf[off:], chunk.Data)
 			return nil
 		})
+	if epoch != s.epoch {
+		// Crashed mid-pull: the new incarnation reset the window wholesale,
+		// so touching stageAvail would double-credit it. The reply is
+		// suppressed by the downed RPC server anyway.
+		return nil, fmt.Errorf("burst: crashed while staging obj %d", uint64(r.Ref.ID))
+	}
 	if err != nil {
 		s.stageAvail += r.Len
 		return nil, err
@@ -347,11 +443,22 @@ func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}
 	if synthetic {
 		staged.Data = nil
 	}
+	var seq uint64
+	if s.jdev != nil {
+		seq, err = s.journalStage(p, r, staged)
+		if epoch != s.epoch {
+			return nil, fmt.Errorf("burst: crashed while journaling obj %d", uint64(r.Ref.ID))
+		}
+		if err != nil {
+			s.stageAvail += r.Len
+			return nil, fmt.Errorf("burst: journal append: %w", err)
+		}
+	}
 	s.staged++
 	s.stagedBytes += r.Len
 	s.seen[r.Ref] = true
 	s.pending[r.Ref]++
-	s.drainq.Send(extent{ref: r.Ref, cap: r.Cap, off: r.Off, payload: staged, stagedAt: p.Now(), epoch: s.epoch})
+	s.enqueue(extent{ref: r.Ref, cap: r.Cap, off: r.Off, payload: staged, stagedAt: p.Now(), epoch: s.epoch, seq: seq})
 	return stageResp{Staged: true}, nil
 }
 
@@ -359,6 +466,7 @@ func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}
 // relays each pulled chunk straight to the backing store and syncs before
 // acknowledging — the client sees direct-write latency, never a failure.
 func (s *Server) passthrough(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}, error) {
+	epoch := s.epoch
 	_, err := storage.ChunkedPull(p, s.ep, s.name, from, r.DataPortal, r.Bits, r.Len, s.cfg.ChunkSize, s.bufPool,
 		func(q *sim.Proc, off int64, chunk netsim.Payload) error {
 			_, werr := s.sc.Write(q, r.Ref, r.Cap, r.Off+off, chunk)
@@ -370,41 +478,24 @@ func (s *Server) passthrough(p *sim.Proc, from netsim.NodeID, r stageReq) (inter
 	if err := s.sc.Sync(p, storage.TargetOf(r.Ref), r.Cap); err != nil {
 		return nil, err
 	}
+	if epoch != s.epoch {
+		// Crashed mid-relay: the write may be durable, but this incarnation's
+		// bookkeeping is gone and the reply is suppressed regardless.
+		return nil, fmt.Errorf("burst: crashed while relaying obj %d", uint64(r.Ref.ID))
+	}
+	if s.jdev != nil {
+		// Record the completion so a post-crash DrainWait can still vouch
+		// for this ref instead of degenerating to ErrLost.
+		if err := s.journalDurable(p, r.Ref); err != nil {
+			return nil, fmt.Errorf("burst: journal append: %w", err)
+		}
+		if epoch != s.epoch {
+			return nil, fmt.Errorf("burst: crashed while journaling obj %d", uint64(r.Ref.ID))
+		}
+	}
 	s.passthroughs++
 	s.seen[r.Ref] = true // durable already: pending stays zero
 	return stageResp{Staged: false}, nil
-}
-
-// drainWorker streams staged extents to the backing store. Each worker has
-// at most one storage RPC in flight, so DrainWorkers bounds the tier's
-// drain concurrency; DrainBW paces the stream to model a throttled drain
-// link; DrainRetry rides out fabric loss.
-func (s *Server) drainWorker(p *sim.Proc) {
-	for {
-		e := s.drainq.Recv(p).(extent)
-		if e.epoch != s.epoch {
-			continue // staged before a crash: the memory backing it is gone
-		}
-		if s.cfg.DrainBW > 0 {
-			p.Sleep(sim.Rate(e.payload.Size, s.cfg.DrainBW))
-		}
-		_, err := s.sc.Write(p, e.ref, e.cap, e.off, e.payload)
-		if err == nil {
-			err = s.sc.Sync(p, storage.TargetOf(e.ref), e.cap)
-		}
-		if e.epoch != s.epoch {
-			continue // crashed mid-drain: this incarnation cannot vouch for it
-		}
-		if err != nil {
-			s.failed[e.ref] = true
-			s.pending[e.ref]--
-			continue
-		}
-		s.stageAvail += e.payload.Size
-		s.drainedBytes += e.payload.Size
-		s.drainLat.Add(float64(p.Now().Sub(e.stagedAt)) / float64(time.Millisecond))
-		s.pending[e.ref]--
-	}
 }
 
 // drainPoll is how often a blocked DrainWait re-examines the pending set.

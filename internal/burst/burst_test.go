@@ -184,7 +184,9 @@ func TestCrashLosesStagedDataDetectably(t *testing.T) {
 		if err := bc.DrainWait(p, bb.Tgt(), []storage.ObjRef{ref}, 20*time.Millisecond); !errors.Is(err, portals.ErrRPCTimeout) {
 			t.Fatalf("wait against crashed buffer: %v, want timeout", err)
 		}
-		bb.Restart()
+		if n, err := bb.Restart(p); n != 0 || err != nil {
+			t.Fatalf("memory-only restart recovered %d extents, err=%v", n, err)
+		}
 		if err := bc.DrainWait(p, bb.Tgt(), []storage.ObjRef{ref}, 20*time.Millisecond); !errors.Is(err, burst.ErrLost) {
 			t.Fatalf("wait after restart: %v, want ErrLost", err)
 		}

@@ -1,0 +1,184 @@
+package burst
+
+import (
+	"time"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+)
+
+// The drain scheduler. Staged extents are not handed to the drain workers
+// raw: they are grouped by destination storage server, and a worker claims a
+// whole destination's backlog at once. Within the batch, extents that extend
+// the same object contiguously are coalesced into one storage write, and the
+// batch issues a single sync against the destination — so a burst of n
+// per-rank extents bound for one server costs one flush barrier, not n, and
+// an application that staged its dump in sequential chunks drains it as one
+// stream. Worker parallelism is preserved across destinations: with k
+// servers holding backlog, up to k workers drain concurrently.
+
+// drainQueue holds pending extents grouped by destination target, in
+// deterministic arrival order (FIFO over targets, FIFO within a target).
+type drainQueue struct {
+	byTarget map[storage.Target][]extent
+	order    []storage.Target // targets with pending extents, arrival order
+}
+
+func newDrainQueue() *drainQueue {
+	return &drainQueue{byTarget: make(map[storage.Target][]extent)}
+}
+
+func (q *drainQueue) add(e extent) {
+	t := storage.TargetOf(e.ref)
+	if len(q.byTarget[t]) == 0 {
+		q.order = append(q.order, t)
+	}
+	q.byTarget[t] = append(q.byTarget[t], e)
+}
+
+// take removes and returns the backlog of the oldest destination with
+// pending work (len(batch) == 0 when the queue is empty).
+func (q *drainQueue) take() (storage.Target, []extent) {
+	for len(q.order) > 0 {
+		t := q.order[0]
+		q.order = q.order[1:]
+		if batch := q.byTarget[t]; len(batch) > 0 {
+			delete(q.byTarget, t)
+			return t, batch
+		}
+	}
+	return storage.Target{}, nil
+}
+
+// clear discards all pending work (crash: the memory backing it is gone).
+func (q *drainQueue) clear() {
+	q.byTarget = make(map[storage.Target][]extent)
+	q.order = nil
+}
+
+// mergedExtent is one coalesced storage write and the staged extents it
+// carries (bookkeeping — latency samples, journal markers — stays
+// per-original).
+type mergedExtent struct {
+	ref     storage.ObjRef
+	cap     authz.Capability
+	off     int64
+	payload netsim.Payload
+	parts   []extent
+}
+
+func (m *mergedExtent) end() int64 { return m.off + m.payload.Size }
+
+// coalesce merges, in arrival order, extents that contiguously extend the
+// previous extent of the same object (same ref, matching real/synthetic
+// payload kind). Arrival order is preserved and non-adjacent extents are
+// never reordered, so overlapping writes keep last-writer-wins semantics.
+func coalesce(batch []extent) []mergedExtent {
+	var out []mergedExtent
+	last := make(map[storage.ObjRef]int) // ref -> index in out of its latest run
+	for _, e := range batch {
+		if i, ok := last[e.ref]; ok {
+			m := &out[i]
+			if m.end() == e.off && (m.payload.Data != nil) == (e.payload.Data != nil) {
+				if m.payload.Data != nil {
+					m.payload.Data = append(m.payload.Data, e.payload.Data...)
+				}
+				m.payload.Size += e.payload.Size
+				m.parts = append(m.parts, e)
+				continue
+			}
+		}
+		payload := e.payload
+		if payload.Data != nil {
+			// Own the buffer: a later merge appends in place, and the staged
+			// copy must stay untouched for the journal's benefit.
+			payload.Data = append([]byte(nil), payload.Data...)
+		}
+		out = append(out, mergedExtent{ref: e.ref, cap: e.cap, off: e.off, payload: payload, parts: []extent{e}})
+		last[e.ref] = len(out) - 1
+	}
+	return out
+}
+
+// enqueue hands one staged extent to the drain scheduler and wakes a worker
+// (one token per extent; workers reconcile tokens against batch sizes).
+func (s *Server) enqueue(e extent) {
+	s.dq.add(e)
+	s.drainq.Send(struct{}{})
+}
+
+// drainWorker claims whole-destination batches and streams them to the
+// backing store. Each worker has at most one storage RPC in flight, so
+// DrainWorkers bounds the tier's drain concurrency; DrainBW paces the batch
+// to model a throttled drain link; DrainRetry rides out fabric loss.
+func (s *Server) drainWorker(p *sim.Proc) {
+	for {
+		s.drainq.Recv(p)
+		tgt, batch := s.dq.take()
+		if len(batch) == 0 {
+			continue // another worker's batch covered this token's extent
+		}
+		// The batch spans len(batch) tokens but only one Recv: consume the
+		// surplus so token count keeps matching pending extents. (The sim is
+		// cooperative and nothing blocks between take and these TryRecvs, so
+		// the counts cannot race.)
+		for i := 1; i < len(batch); i++ {
+			s.drainq.TryRecv()
+		}
+		s.drainBatch(p, tgt, batch)
+	}
+}
+
+// drainBatch writes one destination's coalesced backlog and syncs once.
+// Completion bookkeeping is epoch-fenced per original extent: a worker that
+// was mid-batch when the buffer crashed must not touch the new incarnation's
+// maps or journal — the replay re-queued those extents under the new epoch
+// and another worker owns them now.
+func (s *Server) drainBatch(p *sim.Proc, tgt storage.Target, batch []extent) {
+	if s.cfg.DrainBW > 0 {
+		var total int64
+		for _, e := range batch {
+			total += e.payload.Size
+		}
+		p.Sleep(sim.Rate(total, s.cfg.DrainBW))
+	}
+	merged := coalesce(batch)
+	s.coalesced += int64(len(batch) - len(merged))
+
+	var done, failed []extent
+	for _, m := range merged {
+		if _, err := s.sc.Write(p, m.ref, m.cap, m.off, m.payload); err != nil {
+			failed = append(failed, m.parts...)
+			continue
+		}
+		done = append(done, m.parts...)
+	}
+	if len(done) > 0 {
+		s.drainSyncs++
+		if err := s.sc.Sync(p, tgt, done[0].cap); err != nil {
+			failed = append(failed, done...)
+			done = nil
+		}
+	}
+	for _, e := range failed {
+		if e.epoch != s.epoch {
+			continue // staged by a dead incarnation: not ours to account for
+		}
+		s.failed[e.ref] = true
+		s.pending[e.ref]--
+	}
+	for _, e := range done {
+		if e.epoch != s.epoch {
+			continue // crashed mid-drain: the replayed copy owns this record
+		}
+		s.stageAvail += e.payload.Size
+		s.drainedBytes += e.payload.Size
+		s.drainLat.Add(float64(p.Now().Sub(e.stagedAt)) / float64(time.Millisecond))
+		s.pending[e.ref]--
+		if s.jdev != nil && e.seq != 0 {
+			s.journalDrained(p, e.seq)
+		}
+	}
+}

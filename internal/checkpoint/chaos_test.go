@@ -168,7 +168,7 @@ func runChaosScript(t *testing.T, sc chaosParams) chaosOutcome {
 // sweeps the orphaned provisional creates, and Restore reads every rank's
 // data back bit-exactly.
 func TestCheckpointSurvivesServerCrash(t *testing.T) {
-	out := runChaosCheckpoint(t, 7)
+	out := runChaosCheckpoint(t, testrig.SeedFromEnv(7))
 	t.Logf("chaos events: %v", out.log.Events)
 	t.Logf("elapsed: %v, retries rode out the crash", out.res.Elapsed)
 
@@ -269,8 +269,9 @@ func TestCompletedDumpOnCrashedServerIsRehomed(t *testing.T) {
 // identical virtual-time results — fault injection must not break the
 // simulator's determinism.
 func TestChaosDeterministicGivenSeed(t *testing.T) {
-	a := runChaosCheckpoint(t, 11)
-	b := runChaosCheckpoint(t, 11)
+	seed := testrig.SeedFromEnv(11)
+	a := runChaosCheckpoint(t, seed)
+	b := runChaosCheckpoint(t, seed)
 	if a.res.Elapsed != b.res.Elapsed {
 		t.Fatalf("same seed, different elapsed: %v vs %v", a.res.Elapsed, b.res.Elapsed)
 	}

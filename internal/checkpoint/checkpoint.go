@@ -52,17 +52,36 @@ type Config struct {
 	// leave it off for large performance sweeps.
 	PatternData bool
 	// Burst, when non-empty, routes every rank's dump through the burst
-	// staging tier (rank i stages via Burst[i%len(Burst)]): the rank is
-	// acked as soon as the buffer holds its state, and the manifest commit
-	// waits for the drains. Elapsed then measures *apparent* checkpoint
-	// time and Durable the commit-inclusive tail; a buffer crash before
-	// drain aborts the whole dump (Aborted) instead of committing a
-	// manifest over lost data.
+	// staging tier (ranks are spread over the buffers by topology distance,
+	// see BufferAssignment): the rank is acked as soon as the buffer holds
+	// its state, and the manifest commit waits for the drains. Elapsed then
+	// measures *apparent* checkpoint time and Durable the commit-inclusive
+	// tail; a buffer crash before drain aborts the whole dump (Aborted)
+	// instead of committing a manifest over lost data.
 	Burst []burst.Target
 	// DrainTimeout bounds the commit tail's per-buffer drain wait (0 =
 	// 5 s default, negative = wait forever). A crashed buffer surfaces as
 	// a timeout after this long, turning into a detectable abort.
 	DrainTimeout time.Duration
+	// RecoveryTimeout, when positive, makes the commit tail ride out a
+	// buffer crash instead of aborting at the first drain-wait timeout:
+	// rank 0 keeps re-issuing DrainWait against the buffer (which, if
+	// journaled, replays its journal on restart and resumes draining) until
+	// the wait succeeds or RecoveryTimeout elapses since the tail began.
+	// Zero keeps the pre-journal behavior: the first failed wait aborts.
+	RecoveryTimeout time.Duration
+
+	// burstAssign maps rank → buffer index; SetupLWFS fills it in from the
+	// cluster topology. Empty falls back to rank-modulo rotation.
+	burstAssign []int
+}
+
+// bufferFor returns the buffer index rank stages through.
+func (c Config) bufferFor(rank int) int {
+	if len(c.burstAssign) > 0 {
+		return c.burstAssign[rank]
+	}
+	return rank % len(c.Burst)
 }
 
 func (c Config) drainTimeout() time.Duration {
@@ -122,6 +141,10 @@ type Result struct {
 	// (burst mode: staged state was lost before it drained). The dump left
 	// no committed manifest — a restore attempt fails cleanly.
 	Aborted bool
+	// Recovered is set when a drain wait failed (buffer crash) but a retry
+	// within RecoveryTimeout eventually succeeded — the dump committed
+	// Durable through a buffer recovery instead of aborting.
+	Recovered bool
 }
 
 // ThroughputMBs reports the paper's Figure 9 metric: aggregate MB/s.
@@ -192,6 +215,13 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			bclients[i] = burst.NewClient(clients[i].Caller())
 		}
 	}
+	if len(cfg.Burst) > 0 {
+		nodes := make([]netsim.NodeID, cfg.Procs)
+		for i, c := range clients {
+			nodes[i] = c.Node()
+		}
+		cfg.burstAssign = BufferAssignment(nodes, cfg.Burst)
+	}
 	// Gather channel for the metadata phase (rank 0 collects ObjRefs).
 	gather := sim.NewMailbox(cl.K, "ckpt/gather")
 	done := sim.NewMailbox(cl.K, "ckpt/done")
@@ -252,11 +282,13 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 		}
 		// Burst mode: the commit only ever covers drained data. Wait for
 		// every buffer to vouch for its extents; if one cannot (crashed and
-		// lost staged state, drain gave up, or it stopped answering), roll
-		// the whole checkpoint back — the provisional creates are removed by
-		// the participants' abort path, so a restore never sees a manifest
-		// over partially drained objects.
-		if err := waitDrains(p, bclients[0], refs, cfg); err != nil {
+		// lost staged state, drain gave up, or it stopped answering past any
+		// recovery window), roll the whole checkpoint back — the provisional
+		// creates are removed by the participants' abort path, so a restore
+		// never sees a manifest over partially drained objects.
+		recovered, err := waitDrains(p, bclients[0], refs, cfg)
+		res.Recovered = recovered
+		if err != nil {
 			if aerr := tx.Abort(p); aerr != nil {
 				panic(fmt.Sprintf("abort after %v: %v", err, aerr))
 			}
@@ -383,7 +415,7 @@ func dumpViaBurst(p *sim.Proc, c *core.Client, bc *burst.Client, caps core.CapSe
 	out.t.Create = p.Now().Sub(t0)
 
 	t1 := p.Now()
-	bt := cfg.Burst[rank%len(cfg.Burst)]
+	bt := cfg.Burst[cfg.bufferFor(rank)]
 	if _, err := bc.StageWrite(p, bt, ref, caps.Get(authz.OpWrite), 0, payloadFor(rank, cfg)); err != nil {
 		panic(fmt.Sprintf("rank %d stage: %v", rank, err))
 	}
@@ -393,29 +425,98 @@ func dumpViaBurst(p *sim.Proc, c *core.Client, bc *burst.Client, caps core.CapSe
 	return out
 }
 
+// recoveryPoll paces the commit tail's re-issued drain waits while a
+// crashed buffer is (hopefully) being restarted.
+const recoveryPoll = 10 * time.Millisecond
+
 // waitDrains is the burst-mode commit gate: every rank's object must be
 // durable on its storage server before the manifest may exist. Refs are
-// grouped back onto the buffer that staged them (rank i → Burst[i%n], the
-// same rotation dumpViaBurst used) and each buffer is polled with one
-// bounded wait. Returns nil immediately when the config has no burst tier.
-func waitDrains(p *sim.Proc, bc *burst.Client, refs []storage.ObjRef, cfg Config) error {
+// grouped back onto the buffer that staged them (the same assignment
+// dumpViaBurst used) and each buffer is polled with one bounded wait.
+//
+// With RecoveryTimeout set, a wait that times out (buffer down) is
+// re-issued until the buffer answers again or the window closes: a
+// journaled buffer replays its journal on restart and resumes draining, so
+// the retried wait eventually vouches for the refs and the commit proceeds
+// — recovered is then true. ErrLost and ErrDrainFailed are terminal either
+// way: the buffer is answering and disclaiming the data, so waiting longer
+// cannot help. Returns (false, nil) immediately when the config has no
+// burst tier.
+func waitDrains(p *sim.Proc, bc *burst.Client, refs []storage.ObjRef, cfg Config) (recovered bool, err error) {
 	nb := len(cfg.Burst)
 	if nb == 0 {
-		return nil
+		return false, nil
 	}
 	byBuffer := make([][]storage.ObjRef, nb)
 	for rank, ref := range refs {
-		byBuffer[rank%nb] = append(byBuffer[rank%nb], ref)
+		bi := cfg.bufferFor(rank)
+		byBuffer[bi] = append(byBuffer[bi], ref)
 	}
+	deadline := p.Now().Add(cfg.RecoveryTimeout)
 	for bi, group := range byBuffer {
 		if len(group) == 0 {
 			continue
 		}
-		if err := bc.DrainWait(p, cfg.Burst[bi], group, cfg.drainTimeout()); err != nil {
-			return fmt.Errorf("checkpoint: drain wait on buffer %d: %w", bi, err)
+		retried := false
+		for {
+			err := bc.DrainWait(p, cfg.Burst[bi], group, cfg.drainTimeout())
+			if err == nil {
+				if retried {
+					recovered = true
+				}
+				break
+			}
+			if !errors.Is(err, portals.ErrRPCTimeout) || cfg.RecoveryTimeout <= 0 || p.Now() >= deadline {
+				return recovered, fmt.Errorf("checkpoint: drain wait on buffer %d: %w", bi, err)
+			}
+			retried = true
+			p.Sleep(recoveryPoll)
 		}
 	}
-	return nil
+	return recovered, nil
+}
+
+// BufferAssignment spreads ranks across burst buffers deterministically by
+// topology distance: each rank, in order, is assigned the nearest buffer
+// (node-ID distance, the simulated fabric's locality proxy) that still has
+// headroom under the balanced share ceil(ranks/buffers), ties broken by
+// buffer index. Neighbouring ranks on one compute node land on the same
+// nearby buffer, but — unlike the old rank-modulo rotation applied to a
+// contiguous block — no buffer absorbs more than its share, so one crashed
+// buffer costs a bounded, topology-local slice of the job, never a
+// contiguous rank block picked by arithmetic accident.
+func BufferAssignment(nodes []netsim.NodeID, buffers []burst.Target) []int {
+	nb := len(buffers)
+	if nb == 0 {
+		return nil
+	}
+	capacity := (len(nodes) + nb - 1) / nb
+	load := make([]int, nb)
+	assign := make([]int, len(nodes))
+	for rank, node := range nodes {
+		best := -1
+		for bi, b := range buffers {
+			if load[bi] >= capacity {
+				continue
+			}
+			if best == -1 || dist(node, b.Node) < dist(node, buffers[best].Node) {
+				best = bi
+			}
+		}
+		if best == -1 {
+			best = rank % nb // unreachable with a positive capacity; be safe
+		}
+		load[best]++
+		assign[rank] = best
+	}
+	return assign
+}
+
+func dist(a, b netsim.NodeID) int {
+	if a < b {
+		return int(b - a)
+	}
+	return int(a - b)
 }
 
 // dumpLWFS is one process's CHECKPOINT body: CREATEOBJ + DUMPSTATE + sync,

@@ -44,6 +44,14 @@ type Spec struct {
 	// memory and drain them to the storage servers asynchronously (0 = no
 	// tier; the pre-burst topology).
 	BurstNodes int
+	// BurstJournal gives each burst buffer a write-ahead journal on a
+	// buffer-local device, so staged extents survive a buffer crash and
+	// Restart resumes draining them (burst.StartJournaled). False keeps the
+	// memory-only tier of the earlier experiments, bit-identical.
+	BurstJournal bool
+	// BurstJournalDisk calibrates the journal media; the zero value selects
+	// osd.BurstJournalParams (NVRAM/SSD-class).
+	BurstJournalDisk osd.DiskParams
 
 	NICBandwidth float64       // bytes/s, per node, each direction
 	Latency      time.Duration // fabric latency
@@ -243,9 +251,18 @@ func (c *Cluster) DeployLWFS() *LWFS {
 			sys.Storage = append(sys.Storage, storage.Target{Node: ep.Node(), Port: port})
 		}
 	}
-	for _, ep := range c.BurstN {
+	for i, ep := range c.BurstN {
 		az := authz.NewClient(portals.NewCaller(ep), c.Admin.Node())
-		l.Burst = append(l.Burst, burst.Start(ep, az, burst.DefaultPort, c.Spec.Burst))
+		if c.Spec.BurstJournal {
+			params := c.Spec.BurstJournalDisk
+			if params.BandwidthBps <= 0 {
+				params = osd.BurstJournalParams()
+			}
+			jdev := osd.NewDevice(c.K, fmt.Sprintf("bbj%d", i), params)
+			l.Burst = append(l.Burst, burst.StartJournaled(ep, az, burst.DefaultPort, c.Spec.Burst, jdev))
+		} else {
+			l.Burst = append(l.Burst, burst.Start(ep, az, burst.DefaultPort, c.Spec.Burst))
+		}
 	}
 	l.Sys = sys
 	return l

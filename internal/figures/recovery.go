@@ -1,0 +1,207 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"lwfs/internal/checkpoint"
+	"lwfs/internal/cluster"
+	"lwfs/internal/osd"
+	"lwfs/internal/sim"
+	"lwfs/internal/stats"
+)
+
+// The journaled-staging sweep (experiment E16): crash the burst buffer
+// mid-drain and measure what the crash costs under each staging mode. A
+// memory-only buffer turns the crash into an abort — the whole dump is
+// redone by the application. A journaled buffer turns it into bounded
+// recovery latency: replay plus re-drain, paid inside the commit tail. The
+// sweep varies the journal medium's sync cost (NVRAM- to disk-class) to
+// show the trade the journal makes on the healthy path: every staged
+// extent pays one journal append + flush before its ack, so a slower
+// barrier erodes the tier's apparent-time win.
+
+// RecoveryMedium is one staging mode under test.
+type RecoveryMedium struct {
+	Name    string
+	Journal bool
+	Disk    osd.DiskParams // journal media calibration (Journal only)
+}
+
+// RecoveryOpts parameterize the recovery sweep.
+type RecoveryOpts struct {
+	// Media lists the staging modes; defaults to memory-only plus journals
+	// on NVRAM-, SSD- and disk-class media (sync barrier 5 µs → 500 µs).
+	Media        []RecoveryMedium
+	Procs        int
+	Servers      int
+	BytesPerProc int64
+	DrainBW      float64       // per-worker drain throttle, bytes/s
+	CrashAt      time.Duration // buffer crash instant
+	RestartAt    time.Duration // buffer restart instant
+	Trials       int
+	Progress     func(format string, args ...interface{}) // optional
+}
+
+func journalMedium(name string, sync time.Duration) RecoveryMedium {
+	d := osd.BurstJournalParams()
+	d.SyncCost = sync
+	return RecoveryMedium{Name: name, Journal: true, Disk: d}
+}
+
+func (o *RecoveryOpts) defaults() {
+	if len(o.Media) == 0 {
+		o.Media = []RecoveryMedium{
+			{Name: "memory"},
+			journalMedium("journal-nvram", 5*time.Microsecond),
+			journalMedium("journal-ssd", 25*time.Microsecond),
+			journalMedium("journal-disk", 500*time.Microsecond),
+		}
+	}
+	if o.Procs == 0 {
+		o.Procs = 4
+	}
+	if o.Servers == 0 {
+		o.Servers = 2
+	}
+	if o.BytesPerProc == 0 {
+		o.BytesPerProc = 2 << 20
+	}
+	if o.DrainBW == 0 {
+		// ~2 s per rank at 2 MB: a wide mid-drain window to crash inside.
+		o.DrainBW = 1 << 20
+	}
+	if o.CrashAt == 0 {
+		o.CrashAt = 100 * time.Millisecond
+	}
+	if o.RestartAt == 0 {
+		o.RestartAt = 200 * time.Millisecond
+	}
+	if o.Trials == 0 {
+		o.Trials = 3
+	}
+}
+
+// RecoveryPoint is one medium's measurements.
+type RecoveryPoint struct {
+	Medium          RecoveryMedium
+	HealthyApparent stats.Sample // no-fault checkpoint time as acked, ms
+	HealthyDurable  stats.Sample // no-fault commit-inclusive time, ms
+	CrashDurable    stats.Sample // commit-inclusive time through the crash, ms (committed trials)
+	Recovered       int          // crash trials that committed through recovery
+	Aborted         int          // crash trials that rolled back
+}
+
+// RecoveryResult is the whole sweep.
+type RecoveryResult struct {
+	Opts   RecoveryOpts
+	Points []RecoveryPoint
+}
+
+// RecoverySweep measures healthy and crashed checkpoint runs per medium.
+func RecoverySweep(opts RecoveryOpts) (RecoveryResult, error) {
+	opts.defaults()
+	res := RecoveryResult{Opts: opts}
+	for _, med := range opts.Media {
+		point := RecoveryPoint{Medium: med}
+		for trial := 0; trial < opts.Trials; trial++ {
+			for _, crash := range []bool{false, true} {
+				r, err := runRecoveryTrial(opts, med, trial, crash)
+				if err != nil {
+					return res, fmt.Errorf("recovery %s trial=%d crash=%v: %w", med.Name, trial, crash, err)
+				}
+				switch {
+				case !crash:
+					if r.Aborted {
+						return res, fmt.Errorf("recovery %s trial=%d: healthy run aborted", med.Name, trial)
+					}
+					point.HealthyApparent.Add(float64(r.Elapsed) / float64(time.Millisecond))
+					point.HealthyDurable.Add(float64(r.Durable) / float64(time.Millisecond))
+				case r.Aborted:
+					point.Aborted++
+				default:
+					point.Recovered++
+					point.CrashDurable.Add(float64(r.Durable) / float64(time.Millisecond))
+				}
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress("recovery %s: healthy durable %s ms, crash %d recovered / %d aborted",
+				med.Name, point.HealthyDurable.String(), point.Recovered, point.Aborted)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+func runRecoveryTrial(opts RecoveryOpts, med RecoveryMedium, trial int, crash bool) (checkpoint.Result, error) {
+	spec := cluster.DevCluster().WithServers(opts.Servers)
+	spec.ComputeNodes = opts.Procs
+	spec.BurstNodes = 1
+	spec.Burst.DrainBW = opts.DrainBW
+	spec.BurstJournal = med.Journal
+	spec.BurstJournalDisk = med.Disk
+
+	cl := cluster.New(spec)
+	cl.RegisterUser("app", "s3cret")
+	l := cl.DeployLWFS()
+	cfg := checkpoint.Config{
+		Procs:           opts.Procs,
+		BytesPerProc:    opts.BytesPerProc,
+		Seed:            int64(trial)*104729 + 17,
+		Burst:           l.BurstTargets(),
+		DrainTimeout:    300 * time.Millisecond,
+		RecoveryTimeout: 120 * time.Second,
+	}
+	if crash {
+		bb := l.Burst[0]
+		cl.Spawn("chaos", func(p *sim.Proc) {
+			p.Sleep(opts.CrashAt)
+			bb.Crash()
+			p.Sleep(opts.RestartAt - opts.CrashAt)
+			if _, err := bb.Restart(p); err != nil {
+				panic(fmt.Sprintf("figures: buffer restart: %v", err))
+			}
+		})
+	}
+	r, err := checkpoint.SetupLWFS(cl, l, cfg)
+	if err != nil {
+		return checkpoint.Result{}, err
+	}
+	if err := cl.Run(); err != nil {
+		return checkpoint.Result{}, err
+	}
+	return *r, nil
+}
+
+// Render prints the sweep: the journal's healthy-path tax (apparent time vs
+// the memory row) against its payoff (crash trials that commit instead of
+// aborting, and what the recovery detour costs in durable time).
+func (r RecoveryResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "# Journaled staging under buffer crash: %d-process checkpoint, %d servers, %d MB/process, crash@%v restart@%v, %d trials\n",
+		r.Opts.Procs, r.Opts.Servers, r.Opts.BytesPerProc>>20, r.Opts.CrashAt, r.Opts.RestartAt, r.Opts.Trials)
+	fmt.Fprintln(w, "# healthy columns: no-fault runs; crash columns: buffer crashed mid-drain and restarted")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "medium\tjournal sync\thealthy apparent (ms)\thealthy durable (ms)\tcrash outcome\tcrash durable (ms)\trecovery cost (ms)")
+	for _, pt := range r.Points {
+		syncLabel := "-"
+		if pt.Medium.Journal {
+			syncLabel = pt.Medium.Disk.SyncCost.String()
+		}
+		outcome := fmt.Sprintf("%d/%d recovered", pt.Recovered, pt.Recovered+pt.Aborted)
+		if pt.Recovered == 0 {
+			outcome = fmt.Sprintf("%d/%d aborted", pt.Aborted, pt.Recovered+pt.Aborted)
+		}
+		crashDur, cost := "-", "-"
+		if pt.CrashDurable.N() > 0 {
+			crashDur = pt.CrashDurable.String()
+			cost = fmt.Sprintf("%.1f", pt.CrashDurable.Mean()-pt.HealthyDurable.Mean())
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			pt.Medium.Name, syncLabel, pt.HealthyApparent.String(), pt.HealthyDurable.String(),
+			outcome, crashDur, cost)
+	}
+	tw.Flush()
+}

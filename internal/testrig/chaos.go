@@ -2,11 +2,27 @@ package testrig
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"lwfs/internal/sim"
 )
+
+// SeedFromEnv returns the chaos seed for this run: the LWFS_CHAOS_SEED
+// environment variable when set (the CI seed matrix points it at several
+// values so crash windows land in different places), def otherwise. Tests
+// whose scenario depends on a specific schedule should pin their seed
+// instead of calling this.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv("LWFS_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
 
 // ChaosEvent is one scripted fault action: at virtual-time offset At from
 // the moment RunChaos is called, Do runs inside a dedicated chaos process —
