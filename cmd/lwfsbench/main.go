@@ -10,6 +10,7 @@
 //	lwfsbench -experiment faults            # lossy-fabric degradation sweep
 //	lwfsbench -experiment burst             # burst-tier apparent vs durable sweep
 //	lwfsbench -experiment recovery          # journaled staging under buffer crash
+//	lwfsbench -experiment stripe            # striped-engine single-file bandwidth
 //	lwfsbench -experiment all
 //
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
@@ -36,7 +37,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -215,6 +216,24 @@ func main() {
 			ro.Trials = 2
 		}
 		res, err := figures.RecoverySweep(ro)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return nil
+	})
+
+	run("stripe", func() error {
+		so := figures.StripeOpts{Trials: *trials, Progress: progress}
+		if *quick {
+			so.Trials = 1
+			so.Servers = []int{1, 2, 4}
+			so.FileMB = 16
+		}
+		if *bytesMB != 0 {
+			so.FileMB = *bytesMB
+		}
+		res, err := figures.StripeSweep(so)
 		if err != nil {
 			return err
 		}

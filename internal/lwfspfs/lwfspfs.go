@@ -6,40 +6,53 @@
 //
 //   - The namespace is the LWFS naming service.
 //   - A file is a metadata object (superblock-style layout record) plus
-//     data objects striped RAID-0 over the storage servers; placement is
-//     plain library code any application could replace.
+//     data objects striped RAID-0 over the storage servers; placement and
+//     transfer planning live in internal/stripe, plain library code any
+//     application could replace.
 //   - POSIX write atomicity comes from the LWFS lock service: writers take
 //     the file's exclusive lock, readers its shared lock. Applications
 //     that don't want that pay nothing for it — the checkpoint library
 //     never touches a lock.
 //
+// Data moves through the striped-layout engine: a WriteAt/ReadAt spanning M
+// servers issues one coalesced request per object and runs them
+// concurrently, so the transfer pays ~one round trip instead of M serial
+// ones. Options.Serial retains the historical per-unit serial path as a
+// measurement baseline (figures.StripeSweep, experiment E17).
+//
 // The companion example examples/posixfs runs it end to end.
 package lwfspfs
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 
 	"lwfs/internal/authz"
 	"lwfs/internal/core"
 	"lwfs/internal/netsim"
-	"lwfs/internal/osd"
-	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
 	"lwfs/internal/txn"
 )
 
-// Errors reported by the file system.
-var (
-	ErrBadLayout = errors.New("lwfspfs: corrupt file layout metadata")
-)
+// ErrBadLayout reports corrupt file layout metadata (the stripe codec's
+// error, re-exported for compatibility).
+var ErrBadLayout = stripe.ErrBadLayout
 
-// Options tune a file system instance.
+// Options tune a file system instance. StripeUnit and Stripes persist in
+// the superblock; Serial and Window are per-mount runtime knobs.
 type Options struct {
 	StripeUnit int64 // bytes per stripe chunk (default 1 MiB)
 	Stripes    int   // data objects per file (default: all servers)
+
+	// Serial selects the legacy one-RPC-per-stripe-unit transfer path
+	// instead of the coalesced parallel engine — the baseline arm of the
+	// E17 comparison. Not persisted.
+	Serial bool
+	// Window bounds the engine's in-flight requests per call
+	// (default stripe.DefaultWindow). Not persisted.
+	Window int
 }
 
 func (o Options) withDefaults(servers int) Options {
@@ -60,6 +73,7 @@ type FS struct {
 	cid  authz.ContainerID
 	caps core.CapSet
 	opts Options
+	eng  *stripe.Engine
 }
 
 // Format creates a new file system rooted at rootDir: a fresh container, a
@@ -78,7 +92,8 @@ func Format(p *sim.Proc, c *core.Client, rootDir string, opts Options) (*FS, err
 	if err := c.Mkdir(p, rootDir); err != nil {
 		return nil, fmt.Errorf("lwfspfs: root: %w", err)
 	}
-	fs := &FS{c: c, root: rootDir, cid: cid, caps: caps, opts: opts}
+	fs := &FS{c: c, root: rootDir, cid: cid, caps: caps, opts: opts,
+		eng: stripe.NewEngine(c, caps, opts.Window)}
 	// Superblock: records container and layout so another process can
 	// Mount by path alone.
 	sb, err := c.CreateObject(p, c.Server(0), caps)
@@ -105,34 +120,19 @@ func (fs *FS) sbPath() string { return fs.root + "/.lwfspfs" }
 // hands you both. The caller's principal must be admitted by the
 // container's policy (the owner grants with SetACL).
 func Mount(p *sim.Proc, c *core.Client, rootDir string, cid authz.ContainerID) (*FS, error) {
-	fs := &FS{c: c, root: rootDir, cid: cid}
-	caps, err := c.GetCaps(p, cid, authz.AllOps...)
-	if err != nil {
-		return nil, fmt.Errorf("lwfspfs: caps: %w", err)
-	}
-	fs.caps = caps
-	e, err := c.Lookup(p, fs.sbPath())
-	if err != nil {
-		return nil, fmt.Errorf("lwfspfs: superblock: %w", err)
-	}
-	payload, err := c.Read(p, e.Ref, caps, 0, 256)
-	if err != nil {
-		return nil, err
-	}
-	opts, ok := parseSuperblock(payload.Data)
-	if !ok {
-		return nil, ErrBadLayout
-	}
-	fs.opts = opts.withDefaults(len(c.Servers()))
-	return fs, nil
+	return mount(p, c, rootDir, cid, authz.AllOps)
 }
 
 // MountReadOnly is Mount for principals granted only read and list access:
 // ReadAt, Open and List work; Create, WriteAt and Remove fail with the
 // zero-capability errors of the storage service.
 func MountReadOnly(p *sim.Proc, c *core.Client, rootDir string, cid authz.ContainerID) (*FS, error) {
+	return mount(p, c, rootDir, cid, []authz.Op{authz.OpRead, authz.OpList})
+}
+
+func mount(p *sim.Proc, c *core.Client, rootDir string, cid authz.ContainerID, ops []authz.Op) (*FS, error) {
 	fs := &FS{c: c, root: rootDir, cid: cid}
-	caps, err := c.GetCaps(p, cid, authz.OpRead, authz.OpList)
+	caps, err := c.GetCaps(p, cid, ops...)
 	if err != nil {
 		return nil, fmt.Errorf("lwfspfs: caps: %w", err)
 	}
@@ -150,6 +150,7 @@ func MountReadOnly(p *sim.Proc, c *core.Client, rootDir string, cid authz.Contai
 		return nil, ErrBadLayout
 	}
 	fs.opts = opts.withDefaults(len(c.Servers()))
+	fs.eng = stripe.NewEngine(c, caps, fs.opts.Window)
 	return fs, nil
 }
 
@@ -166,6 +167,10 @@ func (fs *FS) Container() authz.ContainerID { return fs.cid }
 
 // Root returns the mount directory.
 func (fs *FS) Root() string { return fs.root }
+
+// SetSerial toggles the legacy per-unit serial transfer path at runtime
+// (mounted file systems default to the parallel engine).
+func (fs *FS) SetSerial(on bool) { fs.opts.Serial = on }
 
 // full converts an FS-relative path to a naming-service path.
 func (fs *FS) full(path string) string {
@@ -198,58 +203,16 @@ func (fs *FS) List(p *sim.Proc, path string) ([]string, error) {
 	return out, nil
 }
 
-// layout is a file's persistent metadata: its data objects plus size.
-type layout struct {
-	size    int64
-	stripeU int64
-	objs    []storage.ObjRef
-}
-
-func (l layout) encode() []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "size %d\nstripeunit %d\n", l.size, l.stripeU)
-	for _, o := range l.objs {
-		fmt.Fprintf(&b, "obj %d %d %d\n", o.Node, o.Port, uint64(o.ID))
-	}
-	return []byte(b.String())
-}
-
-func decodeLayout(data []byte) (layout, error) {
-	var l layout
-	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-	if len(lines) < 2 {
-		return l, ErrBadLayout
-	}
-	if _, err := fmt.Sscanf(lines[0], "size %d", &l.size); err != nil {
-		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
-	}
-	if _, err := fmt.Sscanf(lines[1], "stripeunit %d", &l.stripeU); err != nil {
-		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
-	}
-	for _, line := range lines[2:] {
-		var node, port int
-		var id uint64
-		if _, err := fmt.Sscanf(line, "obj %d %d %d", &node, &port, &id); err != nil {
-			return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
-		}
-		l.objs = append(l.objs, storage.ObjRef{
-			Node: netsim.NodeID(node),
-			Port: portals.Index(port),
-			ID:   osd.ObjectID(id),
-		})
-	}
-	return l, nil
-}
-
 // layoutWireMax bounds the metadata object read size.
 const layoutWireMax = 64 << 10
 
-// File is an open file.
+// File is an open file. Its persistent metadata is a stripe.Layout (data
+// objects, stripe unit, logical size) stored in the metadata object.
 type File struct {
 	fs    *FS
 	path  string
 	mdRef storage.ObjRef
-	l     layout
+	l     stripe.Layout
 	dirty bool
 }
 
@@ -260,7 +223,7 @@ type File struct {
 // create leaves no debris.
 func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 	tx := fs.c.BeginTxn()
-	l := layout{stripeU: fs.opts.StripeUnit}
+	l := stripe.Layout{Unit: fs.opts.StripeUnit}
 	base := pathHash(path)
 	for i := 0; i < fs.opts.Stripes; i++ {
 		ref, err := fs.c.CreateObjectTxn(p, fs.c.Server(base+i), fs.caps, tx)
@@ -268,14 +231,14 @@ func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 			tx.Abort(p) //nolint:errcheck
 			return nil, err
 		}
-		l.objs = append(l.objs, ref)
+		l.Objs = append(l.Objs, ref)
 	}
 	mdRef, err := fs.c.CreateObjectTxn(p, fs.c.Server(base), fs.caps, tx)
 	if err != nil {
 		tx.Abort(p) //nolint:errcheck
 		return nil, err
 	}
-	if _, err := fs.c.Write(p, mdRef, fs.caps, 0, netsim.BytesPayload(l.encode())); err != nil {
+	if _, err := fs.c.Write(p, mdRef, fs.caps, 0, netsim.BytesPayload(l.Encode())); err != nil {
 		tx.Abort(p) //nolint:errcheck
 		return nil, err
 	}
@@ -299,7 +262,7 @@ func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := decodeLayout(payload.Data)
+	l, err := stripe.Decode(payload.Data)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +278,7 @@ func (fs *FS) Remove(p *sim.Proc, path string) error {
 	if _, err := fs.c.RemoveName(p, fs.full(path)); err != nil {
 		return err
 	}
-	for _, o := range f.l.objs {
+	for _, o := range f.l.Objs {
 		if err := fs.c.Remove(p, o, fs.caps); err != nil {
 			return err
 		}
@@ -324,43 +287,54 @@ func (fs *FS) Remove(p *sim.Proc, path string) error {
 }
 
 // Size returns the file's current size (as of open or last local write).
-func (f *File) Size() int64 { return f.l.size }
+func (f *File) Size() int64 { return f.l.Size }
 
-// stripeFor maps a file offset to (object index, object offset).
-func (f *File) stripeFor(off int64) (int, int64) {
-	u := f.l.stripeU
-	m := int64(len(f.l.objs))
-	w := off / u
-	return int(w % m), (w/m)*u + off%u
-}
+// Layout returns a copy of the file's striped layout (the object set is
+// shared; treat it as read-only).
+func (f *File) Layout() stripe.Layout { return f.l }
 
 // WriteAt writes payload at off under POSIX semantics: the file's
 // exclusive lock is held for the duration, so concurrent writers serialize
-// and readers never observe torn writes.
+// and readers never observe torn writes. The transfer itself runs through
+// the striped engine — one coalesced request per object, fanned out
+// concurrently — unless the file system is in Serial mode.
 func (f *File) WriteAt(p *sim.Proc, off int64, payload netsim.Payload) (int64, error) {
 	locks := f.fs.c.Locks()
 	if err := locks.Lock(p, f.fs.lockName(f.path), txn.Exclusive); err != nil {
 		return 0, err
 	}
 	defer locks.Unlock(p, f.fs.lockName(f.path)) //nolint:errcheck
-	n, err := f.writeUnlocked(p, off, payload)
+	var n int64
+	var err error
+	if f.fs.opts.Serial {
+		n, err = f.writeSerial(p, off, payload)
+	} else {
+		n, err = f.fs.eng.WriteAt(p, f.l, off, payload)
+	}
 	if err != nil {
 		return n, err
 	}
-	if end := off + payload.Size; end > f.l.size {
-		f.l.size = end
+	if end := off + payload.Size; end > f.l.Size {
+		f.l.Size = end
 		f.dirty = true
+	}
+	if !f.dirty {
+		// Steady-state overwrite: the layout record is unchanged, so the
+		// metadata RPC would be a no-op — skip it.
+		return n, nil
 	}
 	// Persist the new size immediately: POSIX readers opening after this
 	// write returns must see it.
 	return n, f.flushMeta(p)
 }
 
-func (f *File) writeUnlocked(p *sim.Proc, off int64, payload netsim.Payload) (int64, error) {
+// writeSerial is the historical transfer path: one RPC per stripe unit, in
+// file order. Kept as the baseline arm of the E17 comparison.
+func (f *File) writeSerial(p *sim.Proc, off int64, payload netsim.Payload) (int64, error) {
 	var written int64
-	u := f.l.stripeU
+	u := f.l.Unit
 	for cur := off; cur < off+payload.Size; {
-		idx, objOff := f.stripeFor(cur)
+		idx, objOff := f.l.Locate(cur)
 		n := u - (cur % u)
 		if n > off+payload.Size-cur {
 			n = off + payload.Size - cur
@@ -369,7 +343,7 @@ func (f *File) writeUnlocked(p *sim.Proc, off int64, payload netsim.Payload) (in
 		if payload.Data != nil {
 			piece = netsim.BytesPayload(payload.Data[cur-off : cur-off+n])
 		}
-		w, err := f.fs.c.Write(p, f.l.objs[idx], f.fs.caps, objOff, piece)
+		w, err := f.fs.c.Write(p, f.l.Objs[idx], f.fs.caps, objOff, piece)
 		written += w
 		if err != nil {
 			return written, err
@@ -379,29 +353,38 @@ func (f *File) writeUnlocked(p *sim.Proc, off int64, payload netsim.Payload) (in
 	return written, nil
 }
 
-// ReadAt reads [off, off+length) under the file's shared lock.
+// ReadAt reads [off, off+length) under the file's shared lock, truncated at
+// the file's logical size.
 func (f *File) ReadAt(p *sim.Proc, off, length int64) (netsim.Payload, error) {
 	locks := f.fs.c.Locks()
 	if err := locks.Lock(p, f.fs.lockName(f.path), txn.Shared); err != nil {
 		return netsim.Payload{}, err
 	}
 	defer locks.Unlock(p, f.fs.lockName(f.path)) //nolint:errcheck
-	if off >= f.l.size {
+	if off >= f.l.Size {
 		return netsim.Payload{}, nil
 	}
-	if off+length > f.l.size {
-		length = f.l.size - off
+	if off+length > f.l.Size {
+		length = f.l.Size - off
 	}
+	if f.fs.opts.Serial {
+		return f.readSerial(p, off, length)
+	}
+	return f.fs.eng.ReadAt(p, f.l, off, length)
+}
+
+// readSerial is the per-unit serial read path (baseline arm of E17).
+func (f *File) readSerial(p *sim.Proc, off, length int64) (netsim.Payload, error) {
 	out := netsim.Payload{Size: length}
 	var buf []byte
-	u := f.l.stripeU
+	u := f.l.Unit
 	for cur := off; cur < off+length; {
-		idx, objOff := f.stripeFor(cur)
+		idx, objOff := f.l.Locate(cur)
 		n := u - (cur % u)
 		if n > off+length-cur {
 			n = off + length - cur
 		}
-		piece, err := f.fs.c.Read(p, f.l.objs[idx], f.fs.caps, objOff, n)
+		piece, err := f.fs.c.Read(p, f.l.Objs[idx], f.fs.caps, objOff, n)
 		if err != nil {
 			return out, err
 		}
@@ -417,20 +400,19 @@ func (f *File) ReadAt(p *sim.Proc, off, length int64) (netsim.Payload, error) {
 	return out, nil
 }
 
-// Sync flushes every storage server holding part of the file.
+// Sync flushes every storage server holding part of the file. The
+// per-target Sync RPCs fan out concurrently (serially in Serial mode).
 func (f *File) Sync(p *sim.Proc) error {
-	seen := map[storage.Target]bool{}
-	for _, o := range f.l.objs {
-		t := storage.TargetOf(o)
-		if seen[t] {
-			continue
+	targets := f.l.Targets()
+	if f.fs.opts.Serial {
+		for _, t := range targets {
+			if err := f.fs.c.Sync(p, t, f.fs.caps); err != nil {
+				return err
+			}
 		}
-		seen[t] = true
-		if err := f.fs.c.Sync(p, t, f.fs.caps); err != nil {
-			return err
-		}
+		return nil
 	}
-	return nil
+	return f.fs.eng.SyncTargets(p, targets)
 }
 
 // Close persists metadata if needed.
@@ -442,7 +424,7 @@ func (f *File) Close(p *sim.Proc) error {
 }
 
 func (f *File) flushMeta(p *sim.Proc) error {
-	_, err := f.fs.c.Write(p, f.mdRef, f.fs.caps, 0, netsim.BytesPayload(f.l.encode()))
+	_, err := f.fs.c.Write(p, f.mdRef, f.fs.caps, 0, netsim.BytesPayload(f.l.Encode()))
 	f.dirty = false
 	return err
 }

@@ -1,0 +1,165 @@
+package stripe
+
+import (
+	"errors"
+	"fmt"
+
+	"lwfs/internal/core"
+	"lwfs/internal/netsim"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+)
+
+// DefaultWindow bounds how many per-object requests an engine keeps in
+// flight at once. Eight covers the dev cluster's 16 servers in two waves
+// while keeping a single client from monopolizing the fabric.
+const DefaultWindow = 8
+
+// Engine executes planned transfers: one coalesced request per object,
+// fanned out concurrently under the server-directed pull protocol. It is a
+// thin, reusable wrapper over a core client — any library distributing data
+// over the storage servers (lwfspfs, checkpoint N-to-M, application-private
+// layouts) can drive it with its own Layout.
+type Engine struct {
+	c      *core.Client
+	caps   core.CapSet
+	window int
+}
+
+// NewEngine wraps a logged-in core client and the capability set its
+// transfers present. window bounds in-flight requests per call (<= 0 picks
+// DefaultWindow).
+func NewEngine(c *core.Client, caps core.CapSet, window int) *Engine {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Engine{c: c, caps: caps, window: window}
+}
+
+// SetCaps replaces the capability set (after an explicit renewal).
+func (e *Engine) SetCaps(caps core.CapSet) { e.caps = caps }
+
+// Window reports the in-flight bound.
+func (e *Engine) Window() int { return e.window }
+
+// WriteAt writes payload at file offset off under the layout: the range is
+// planned into one request per object, and the per-server writes proceed
+// concurrently. It returns the total bytes written; on failure the error
+// carries every failed request, and the count covers only acknowledged
+// writes (partially-landed parallel writes are the caller's layout/locking
+// concern, exactly as with serial per-unit writes).
+func (e *Engine) WriteAt(p *sim.Proc, l Layout, off int64, payload netsim.Payload) (int64, error) {
+	reqs := l.Plan(off, payload.Size)
+	written := make([]int64, len(reqs))
+	err := FanOut(p, "stripe/write", len(reqs), e.window, func(wp *sim.Proc, i int) error {
+		n, werr := e.c.Write(wp, l.Objs[reqs[i].Obj], e.caps, reqs[i].Off, reqs[i].Gather(off, payload))
+		written[i] = n
+		return werr
+	})
+	var total int64
+	for _, n := range written {
+		total += n
+	}
+	return total, err
+}
+
+// ReadAt reads [off, off+length) under the layout with the same plan/fan-out
+// as WriteAt, scattering each object's extent back into file order. Callers
+// clamp length to the logical size first (the layout does not know EOF);
+// reads past the end of short objects return the bytes present.
+func (e *Engine) ReadAt(p *sim.Proc, l Layout, off, length int64) (netsim.Payload, error) {
+	reqs := l.Plan(off, length)
+	out := netsim.Payload{Size: length}
+	got := make([]netsim.Payload, len(reqs))
+	err := FanOut(p, "stripe/read", len(reqs), e.window, func(wp *sim.Proc, i int) error {
+		pl, rerr := e.c.Read(wp, l.Objs[reqs[i].Obj], e.caps, reqs[i].Off, reqs[i].Len)
+		got[i] = pl
+		return rerr
+	})
+	if err != nil {
+		return out, err
+	}
+	var buf []byte
+	for i, req := range reqs {
+		if got[i].Data == nil {
+			continue
+		}
+		if buf == nil {
+			buf = make([]byte, length)
+		}
+		req.Scatter(off, buf, got[i])
+	}
+	out.Data = buf
+	return out, nil
+}
+
+// Targets returns the distinct storage servers holding the layout, in
+// first-appearance order.
+func (l Layout) Targets() []storage.Target {
+	seen := make(map[storage.Target]bool, len(l.Objs))
+	var ts []storage.Target
+	for _, o := range l.Objs {
+		t := storage.TargetOf(o)
+		if !seen[t] {
+			seen[t] = true
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// SyncTargets flushes every target concurrently (the fan-out form of the
+// per-server Sync loop).
+func (e *Engine) SyncTargets(p *sim.Proc, targets []storage.Target) error {
+	return FanOut(p, "stripe/sync", len(targets), e.window, func(wp *sim.Proc, i int) error {
+		return e.c.Sync(wp, targets[i], e.caps)
+	})
+}
+
+// FanOut runs fn(i) for each i in [0, n) on concurrently scheduled simulated
+// processes, with at most window calls in flight. Every call runs to
+// completion even when siblings fail; the per-request errors come back
+// joined, each tagged with its index. window <= 1 (or n == 1) degenerates to
+// an inline serial loop on the caller's process.
+func FanOut(p *sim.Proc, name string, n, window int, fn func(wp *sim.Proc, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if window <= 0 || window > n {
+		window = n
+	}
+	errs := make([]error, n)
+	if window == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(p, i)
+		}
+		return joinIndexed(name, errs)
+	}
+	var wg sim.WaitGroup
+	wg.Add(n)
+	next := 0
+	for w := 0; w < window; w++ {
+		p.Kernel().Spawn(fmt.Sprintf("%s/w%d", name, w), func(wp *sim.Proc) {
+			for next < n {
+				i := next
+				next++
+				errs[i] = fn(wp, i)
+				wg.Done()
+			}
+		})
+	}
+	wg.Wait(p)
+	return joinIndexed(name, errs)
+}
+
+// joinIndexed folds per-request errors into one, tagging each with its
+// request index so a partial fan-out failure names the requests that died.
+func joinIndexed(name string, errs []error) error {
+	var out []error
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, fmt.Errorf("%s[%d]: %w", name, i, err))
+		}
+	}
+	return errors.Join(out...)
+}

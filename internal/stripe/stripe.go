@@ -1,0 +1,181 @@
+// Package stripe is the client-side striped-layout engine: the
+// "distribution policy as a library" layer of the paper's Figures 2/3,
+// reusable by any application built on the LWFS-core.
+//
+// It does three jobs:
+//
+//   - Layout codec: the persistent description of a striped object set
+//     (stripe unit, object list, logical size), previously private to
+//     internal/lwfspfs. Any client library can now read or write the same
+//     metadata format.
+//
+//   - Planning: Plan maps a contiguous byte range of the logical file onto
+//     the object set, coalescing every stripe unit that lands on the same
+//     object into ONE contiguous request per object — the PVFS lesson
+//     (Ching et al.): fewer, larger requests beat per-unit round trips.
+//     RAID-0 arithmetic guarantees a contiguous file range touches each
+//     object in one contiguous object extent, so the coalesced plan has at
+//     most one request per object (a property the tests pin down).
+//
+//   - Transfer: Engine fans the per-object requests out concurrently over
+//     simulated processes, bounded by an in-flight window, so a transfer
+//     spanning M servers pays roughly one round trip instead of M — see
+//     Engine in engine.go.
+package stripe
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
+	"lwfs/internal/storage"
+)
+
+// ErrBadLayout reports corrupt or truncated layout metadata.
+var ErrBadLayout = errors.New("stripe: corrupt layout metadata")
+
+// Layout describes one striped logical object: RAID-0 over Objs in units of
+// Unit bytes, with a logical Size maintained by the owner.
+type Layout struct {
+	Size int64
+	Unit int64
+	Objs []storage.ObjRef
+}
+
+// Encode renders the layout in its persistent wire format (the format
+// lwfspfs has always written, so existing file systems decode unchanged).
+func (l Layout) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "size %d\nstripeunit %d\n", l.Size, l.Unit)
+	for _, o := range l.Objs {
+		fmt.Fprintf(&b, "obj %d %d %d\n", o.Node, o.Port, uint64(o.ID))
+	}
+	return []byte(b.String())
+}
+
+// Decode parses a layout previously produced by Encode.
+func Decode(data []byte) (Layout, error) {
+	var l Layout
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		return l, ErrBadLayout
+	}
+	if _, err := fmt.Sscanf(lines[0], "size %d", &l.Size); err != nil {
+		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+	}
+	if _, err := fmt.Sscanf(lines[1], "stripeunit %d", &l.Unit); err != nil {
+		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+	}
+	for _, line := range lines[2:] {
+		var node, port int
+		var id uint64
+		if _, err := fmt.Sscanf(line, "obj %d %d %d", &node, &port, &id); err != nil {
+			return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+		}
+		l.Objs = append(l.Objs, storage.ObjRef{
+			Node: netsim.NodeID(node),
+			Port: portals.Index(port),
+			ID:   osd.ObjectID(id),
+		})
+	}
+	return l, nil
+}
+
+// Locate maps a file offset to (object index, object offset) under RAID-0:
+// unit w of the file lives on object w mod M at unit slot w div M.
+func (l Layout) Locate(off int64) (obj int, objOff int64) {
+	u := l.Unit
+	m := int64(len(l.Objs))
+	w := off / u
+	return int(w % m), (w/m)*u + off%u
+}
+
+// Piece is one stripe unit's worth (or less) of a request: a contiguous
+// run of file bytes and where they sit in the object.
+type Piece struct {
+	FileOff int64 // offset of the first byte in the logical file
+	ObjOff  int64 // offset of the first byte in the object
+	Len     int64
+}
+
+// Request is one coalesced transfer against one object: a single contiguous
+// object extent [Off, Off+Len) assembled from Pieces of the file. Pieces are
+// contiguous in object space but interleaved (stride M×unit) in file space —
+// the gather/scatter the engine performs around each RPC.
+type Request struct {
+	Obj    int   // index into Layout.Objs
+	Off    int64 // object offset of the extent's first byte
+	Len    int64 // extent length
+	Pieces []Piece
+}
+
+// Plan maps the file range [off, off+length) onto the object set, merging
+// every unit that lands on the same object into one Request per contiguous
+// object extent. For a contiguous range (the only kind expressible here)
+// RAID-0 yields exactly one Request per touched object; requests come back
+// in first-touch order, so fan-out order is deterministic.
+func (l Layout) Plan(off, length int64) []Request {
+	if length <= 0 || l.Unit <= 0 || len(l.Objs) == 0 {
+		return nil
+	}
+	var reqs []Request
+	last := make([]int, len(l.Objs)) // per-object index of its open request
+	for i := range last {
+		last[i] = -1
+	}
+	u := l.Unit
+	for cur := off; cur < off+length; {
+		idx, objOff := l.Locate(cur)
+		n := u - cur%u
+		if n > off+length-cur {
+			n = off + length - cur
+		}
+		pc := Piece{FileOff: cur, ObjOff: objOff, Len: n}
+		if li := last[idx]; li >= 0 && reqs[li].Off+reqs[li].Len == objOff {
+			reqs[li].Pieces = append(reqs[li].Pieces, pc)
+			reqs[li].Len += n
+		} else {
+			last[idx] = len(reqs)
+			reqs = append(reqs, Request{Obj: idx, Off: objOff, Len: n, Pieces: []Piece{pc}})
+		}
+		cur += n
+	}
+	return reqs
+}
+
+// Gather assembles the payload for one write request from the file payload
+// starting at file offset off. Synthetic payloads (no backing bytes) stay
+// synthetic; sized ones are copied piece by piece into object order.
+func (r Request) Gather(off int64, payload netsim.Payload) netsim.Payload {
+	if payload.Data == nil {
+		return netsim.SyntheticPayload(r.Len)
+	}
+	buf := make([]byte, r.Len)
+	for _, pc := range r.Pieces {
+		copy(buf[pc.ObjOff-r.Off:], payload.Data[pc.FileOff-off:pc.FileOff-off+pc.Len])
+	}
+	return netsim.BytesPayload(buf)
+}
+
+// Scatter distributes one read request's result into the file buffer buf
+// (which covers file offsets [off, off+len(buf))). Short object reads —
+// end-of-object inside the extent — copy only the bytes that arrived.
+func (r Request) Scatter(off int64, buf []byte, got netsim.Payload) {
+	if got.Data == nil {
+		return
+	}
+	avail := int64(len(got.Data))
+	for _, pc := range r.Pieces {
+		n := pc.Len
+		if rem := avail - (pc.ObjOff - r.Off); rem < n {
+			n = rem
+		}
+		if n <= 0 {
+			continue
+		}
+		copy(buf[pc.FileOff-off:], got.Data[pc.ObjOff-r.Off:pc.ObjOff-r.Off+n])
+	}
+}
