@@ -13,6 +13,10 @@
 //	lwfsbench -experiment stripe            # striped-engine single-file bandwidth
 //	lwfsbench -experiment all
 //
+// The -metrics flag appends per-sweep-point registry snapshot deltas (RPC
+// rates, cache hit ratios, queue depths, drain backlog) to the burst and
+// recovery experiments.
+//
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
 // fast smoke run; the defaults reproduce the paper's parameters (512
 // MB/process, ≥5 trials, 2–16 servers, up to 64 clients).
@@ -45,6 +49,7 @@ func main() {
 		bytesMB    = flag.Int64("mb-per-proc", 0, "MB written per process (0 = paper's 512)")
 		verbose    = flag.Bool("v", false, "progress output to stderr")
 		plot       = flag.Bool("plot", false, "render ASCII plots of the figure shapes")
+		metrics    = flag.Bool("metrics", false, "dump registry snapshot deltas per sweep point (burst, recovery)")
 	)
 	flag.Parse()
 
@@ -196,7 +201,7 @@ func main() {
 	})
 
 	run("burst", func() error {
-		bo := figures.BurstOpts{Trials: *trials, Progress: progress}
+		bo := figures.BurstOpts{Trials: *trials, Progress: progress, Metrics: *metrics}
 		if *quick {
 			bo.Trials = 2
 			bo.Buffers = []int{0, 2}
@@ -207,11 +212,12 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
 		return nil
 	})
 
 	run("recovery", func() error {
-		ro := figures.RecoveryOpts{Trials: *trials, Progress: progress}
+		ro := figures.RecoveryOpts{Trials: *trials, Progress: progress, Metrics: *metrics}
 		if *quick {
 			ro.Trials = 2
 		}
@@ -220,6 +226,7 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
 		return nil
 	})
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
@@ -102,7 +103,7 @@ type Service struct {
 	creds map[[32]byte]*credRecord
 	nonce uint64
 
-	logins, verifies, revokes int64
+	logins, verifies, revokes *metrics.Counter
 }
 
 // request bodies
@@ -127,6 +128,10 @@ func Start(ep *portals.Endpoint, realm *Realm, cfg Config) *Service {
 		key:   []byte("authn-service-instance-key"),
 		creds: make(map[[32]byte]*credRecord),
 	}
+	an := ep.Metrics().Scope("authn")
+	s.logins = an.Counter("logins")
+	s.verifies = an.Counter("verifies")
+	s.revokes = an.Counter("revokes")
 	portals.Serve(ep, Portal, "authn", 2, s.handle)
 	return s
 }
@@ -135,8 +140,10 @@ func Start(ep *portals.Endpoint, realm *Realm, cfg Config) *Service {
 func (s *Service) Node() netsim.NodeID { return s.node }
 
 // Stats reports operation counts.
+// Deprecated: thin read of `authn.logins|verifies|revokes`; prefer
+// Registry.Snapshot().
 func (s *Service) Stats() (logins, verifies, revokes int64) {
-	return s.logins, s.verifies, s.revokes
+	return s.logins.Value(), s.verifies.Value(), s.revokes.Value()
 }
 
 func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
@@ -145,17 +152,17 @@ func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inte
 	case loginReq:
 		return s.login(p, r)
 	case verifyReq:
-		s.verifies++
+		s.verifies.Inc()
 		return nil, s.check(r.Cred)
 	case identityReq:
-		s.verifies++
+		s.verifies.Inc()
 		user, err := s.identity(r.Cred)
 		if err != nil {
 			return nil, err
 		}
 		return VerifyResult{User: user}, nil
 	case revokeReq:
-		s.revokes++
+		s.revokes.Inc()
 		rec, ok := s.creds[r.Cred.Token]
 		if !ok {
 			return nil, ErrInvalidCred
@@ -171,7 +178,7 @@ func (s *Service) login(p *sim.Proc, r loginReq) (interface{}, error) {
 	if !s.realm.check(r.User, r.Secret) {
 		return nil, ErrBadLogin
 	}
-	s.logins++
+	s.logins.Inc()
 	s.nonce++
 	mac := hmac.New(sha256.New, s.key)
 	mac.Write([]byte(r.User))

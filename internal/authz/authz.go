@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"lwfs/internal/authn"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
@@ -154,7 +155,7 @@ type Service struct {
 	issued     map[uint64]*capRecord
 	credCache  map[[32]byte]credCacheEntry
 
-	verifies, cacheRegistrations, revocations, invalidationsSent int64
+	verifies, cacheRegistrations, revocations, invalidationsSent *metrics.Counter
 }
 
 // request bodies
@@ -206,6 +207,11 @@ func Start(ep *portals.Endpoint, ac *authn.Client, cfg Config) *Service {
 		issued:     make(map[uint64]*capRecord),
 		credCache:  make(map[[32]byte]credCacheEntry),
 	}
+	az := ep.Metrics().Scope("authz")
+	s.verifies = az.Counter("verifies")
+	s.cacheRegistrations = az.Counter("cache_regs")
+	s.revocations = az.Counter("revocations")
+	s.invalidationsSent = az.Counter("invalidations")
 	portals.Serve(ep, Portal, "authz", 2, s.handle)
 	return s
 }
@@ -216,8 +222,11 @@ func (s *Service) Node() netsim.NodeID { return s.node }
 // Stats reports counters: capability verifications served, cache
 // registrations recorded, revocations processed, invalidation callbacks
 // sent.
+//
+// Deprecated: thin read of `authz.verifies|cache_regs|revocations|
+// invalidations`; prefer Registry.Snapshot().
 func (s *Service) Stats() (verifies, cacheRegs, revocations, invalidations int64) {
-	return s.verifies, s.cacheRegistrations, s.revocations, s.invalidationsSent
+	return s.verifies.Value(), s.cacheRegistrations.Value(), s.revocations.Value(), s.invalidationsSent.Value()
 }
 
 func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
@@ -361,9 +370,9 @@ func (s *Service) verifyCaps(from netsim.NodeID, r verifyCapsReq) error {
 	}
 	for _, c := range r.Caps {
 		s.issued[c.ID].cachedAt[from] = r.CachePort
-		s.cacheRegistrations++
+		s.cacheRegistrations.Inc()
 	}
-	s.verifies++
+	s.verifies.Inc()
 	return nil
 }
 
@@ -395,7 +404,7 @@ func (s *Service) revoke(p *sim.Proc, r revokeReq) error {
 			continue
 		}
 		rec.revoked = true
-		s.revocations++
+		s.revocations.Inc()
 		for node, port := range rec.cachedAt {
 			if perServer[node] == nil {
 				perServer[node] = make(map[portals.Index][]uint64)
@@ -408,7 +417,7 @@ func (s *Service) revoke(p *sim.Proc, r revokeReq) error {
 	// capability ("immediate" revocation).
 	for node, ports := range perServer {
 		for port, ids := range ports {
-			s.invalidationsSent++
+			s.invalidationsSent.Inc()
 			if _, err := s.caller.Call(p, node, port, InvalidateCaps{CapIDs: ids},
 				64+int64(len(ids))*8, 16); err != nil {
 				return fmt.Errorf("authz: invalidating cache on node %d: %w", node, err)

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"lwfs/internal/authz"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
@@ -166,14 +167,18 @@ type Server struct {
 	waitPort  portals.Index
 	bufPool   *sim.Resource
 
-	// stageAvail is the remaining staging window. Admission is
-	// try-acquire-only (a full window degrades to pass-through, it never
-	// blocks), so a plain counter suffices and — unlike sim.Resource — can
-	// be reset wholesale when a crash vaporizes the staged contents.
-	stageAvail int64
+	// stageAvail is the remaining staging window, a gauge registered as
+	// `burst.<node>.stage_avail`. Admission is try-acquire-only (a full
+	// window degrades to pass-through, it never blocks), so a gauge
+	// suffices and — unlike sim.Resource — can be reset wholesale when a
+	// crash vaporizes the staged contents.
+	stageAvail *metrics.Gauge
 	drainq     *sim.Mailbox // wakeup tokens, one per enqueued extent
 	dq         *drainQueue
-	epoch      uint64
+	// drainBacklog mirrors the extents sitting in dq, registered as
+	// `burst.<node>.drain.backlog`.
+	drainBacklog *metrics.Gauge
+	epoch        uint64
 
 	// Journaled mode (nil jdev = memory-only). jOff is the append cursor,
 	// jseq the last sequence issued, jlive the staged records without a
@@ -183,7 +188,7 @@ type Server struct {
 	jOff        int64
 	jseq        uint64
 	jlive       int
-	truncations int64
+	truncations *metrics.Counter
 
 	// Per-destination bookkeeping for DrainWait. seen records every ref
 	// this incarnation has absorbed (staged or passed through); pending
@@ -196,13 +201,16 @@ type Server struct {
 
 	capCache map[uint64]authz.Capability
 
-	staged       int64 // extents absorbed into the staging area
-	passthroughs int64 // writes degraded to synchronous pass-through
-	stagedBytes  int64
-	drainedBytes int64
-	coalesced    int64        // extents merged away by the drain scheduler
-	drainSyncs   int64        // flush barriers issued against storage
-	drainLat     stats.Sample // staging-ack to durable, milliseconds
+	// Registered instruments under `burst.<node>.*`. All updates are
+	// atomic (or mutex-guarded, for the histogram), so reads like
+	// Coalesced()/DrainSyncs() are race-safe from any goroutine.
+	staged       *metrics.Counter // extents absorbed into the staging area
+	passthroughs *metrics.Counter // writes degraded to synchronous pass-through
+	stagedBytes  *metrics.Counter
+	drainedBytes *metrics.Counter
+	coalesced    *metrics.Counter   // extents merged away by the drain scheduler
+	drainSyncs   *metrics.Counter   // flush barriers issued against storage
+	drainLat     *metrics.Histogram // staging-ack to durable, milliseconds
 
 	rpc, waitRPC, cacheRPC *portals.Server
 }
@@ -232,29 +240,41 @@ func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, 
 		panic(fmt.Sprintf("burst: bad config %+v", cfg))
 	}
 	name := fmt.Sprintf("burst%d", ep.Node())
+	scope := ep.Metrics().Scope("burst").Scope(ep.NodeName())
+	drain := scope.Scope("drain")
 	caller := portals.NewCaller(ep)
 	if cfg.DrainRetry.Enabled() {
 		caller.SetRetry(cfg.DrainRetry, sim.NewRand(int64(ep.Node())))
 	}
 	s := &Server{
-		ep:         ep,
-		az:         az,
-		sc:         storage.NewClient(caller),
-		cfg:        cfg,
-		name:       name,
-		rpcPort:    rpcPort,
-		cachePort:  rpcPort + 1,
-		waitPort:   rpcPort + 2,
-		bufPool:    sim.NewResource(ep.Kernel(), name+"/pinned", cfg.PinnedBuffer),
-		stageAvail: cfg.StageCapacity,
-		drainq:     sim.NewMailbox(ep.Kernel(), name+"/drainq"),
-		dq:         newDrainQueue(),
-		jdev:       jdev,
-		seen:       make(map[storage.ObjRef]bool),
-		pending:    make(map[storage.ObjRef]int),
-		failed:     make(map[storage.ObjRef]bool),
-		capCache:   make(map[uint64]authz.Capability),
+		ep:           ep,
+		az:           az,
+		sc:           storage.NewClient(caller),
+		cfg:          cfg,
+		name:         name,
+		rpcPort:      rpcPort,
+		cachePort:    rpcPort + 1,
+		waitPort:     rpcPort + 2,
+		bufPool:      sim.NewResource(ep.Kernel(), name+"/pinned", cfg.PinnedBuffer),
+		stageAvail:   scope.Gauge("stage_avail"),
+		drainq:       sim.NewMailbox(ep.Kernel(), name+"/drainq"),
+		dq:           newDrainQueue(),
+		jdev:         jdev,
+		drainBacklog: drain.Gauge("backlog"),
+		staged:       scope.Counter("staged"),
+		passthroughs: scope.Counter("passthroughs"),
+		stagedBytes:  scope.Counter("staged_bytes"),
+		drainedBytes: scope.Counter("drained_bytes"),
+		coalesced:    drain.Counter("coalesced"),
+		drainSyncs:   drain.Counter("syncs"),
+		drainLat:     drain.Histogram("latency_ms"),
+		truncations:  scope.Scope("journal").Counter("truncations"),
+		seen:         make(map[storage.ObjRef]bool),
+		pending:      make(map[storage.ObjRef]int),
+		failed:       make(map[storage.ObjRef]bool),
+		capCache:     make(map[uint64]authz.Capability),
 	}
+	s.stageAvail.Set(cfg.StageCapacity)
 	s.rpc = portals.Serve(ep, s.rpcPort, name, cfg.Threads, s.handle)
 	s.cacheRPC = portals.Serve(ep, s.cachePort, name+"/capcache", 1, s.handleInvalidate)
 	// Drain waits block their worker until the staged extents are durable,
@@ -277,26 +297,30 @@ func (s *Server) RPCPort() portals.Index { return s.rpcPort }
 func (s *Server) Tgt() Target { return Target{Node: s.Node(), Port: s.rpcPort} }
 
 // Staged reports extents absorbed into the staging area.
-func (s *Server) Staged() int64 { return s.staged }
+//
+// Deprecated: thin read of `burst.<node>.staged`; prefer Registry.Snapshot().
+func (s *Server) Staged() int64 { return s.staged.Value() }
 
 // Passthroughs reports writes that degraded to synchronous pass-through
 // because the staging window was full.
-func (s *Server) Passthroughs() int64 { return s.passthroughs }
+func (s *Server) Passthroughs() int64 { return s.passthroughs.Value() }
 
 // StagedBytes and DrainedBytes report absorbed and drained volume.
-func (s *Server) StagedBytes() int64  { return s.stagedBytes }
-func (s *Server) DrainedBytes() int64 { return s.drainedBytes }
+func (s *Server) StagedBytes() int64  { return s.stagedBytes.Value() }
+func (s *Server) DrainedBytes() int64 { return s.drainedBytes.Value() }
 
 // StageAvail reports the free staging window, bytes.
-func (s *Server) StageAvail() int64 { return s.stageAvail }
+func (s *Server) StageAvail() int64 { return s.stageAvail.Value() }
 
 // Coalesced reports extents the drain scheduler merged away (each saved
-// one storage write RPC).
-func (s *Server) Coalesced() int64 { return s.coalesced }
+// one storage write RPC). Reads the atomic `burst.<node>.drain.coalesced`
+// instrument, so it is safe from any goroutine.
+func (s *Server) Coalesced() int64 { return s.coalesced.Value() }
 
 // DrainSyncs reports flush barriers issued against storage servers (one
-// per drained batch, not per extent).
-func (s *Server) DrainSyncs() int64 { return s.drainSyncs }
+// per drained batch, not per extent). Reads the atomic
+// `burst.<node>.drain.syncs` instrument.
+func (s *Server) DrainSyncs() int64 { return s.drainSyncs.Value() }
 
 // Journaled reports whether the server stages through a write-ahead
 // journal.
@@ -307,11 +331,12 @@ func (s *Server) JournalDevice() *osd.Device { return s.jdev }
 
 // JournalTruncations reports how many times the journal was truncated at a
 // quiesce point.
-func (s *Server) JournalTruncations() int64 { return s.truncations }
+func (s *Server) JournalTruncations() int64 { return s.truncations.Value() }
 
-// DrainLatencies returns the per-extent staging-ack-to-durable latencies
-// observed so far, in milliseconds.
-func (s *Server) DrainLatencies() *stats.Sample { return &s.drainLat }
+// DrainLatencies returns a copy of the per-extent staging-ack-to-durable
+// latencies observed so far, in milliseconds (the
+// `burst.<node>.drain.latency_ms` histogram).
+func (s *Server) DrainLatencies() *stats.Sample { return s.drainLat.Sample() }
 
 // Down reports whether the server is crashed.
 func (s *Server) Down() bool { return s.rpc.Down() }
@@ -333,11 +358,12 @@ func (s *Server) Crash() {
 		}
 	}
 	s.dq.clear()
+	s.drainBacklog.Set(0)
 	s.seen = make(map[storage.ObjRef]bool)
 	s.pending = make(map[storage.ObjRef]int)
 	s.failed = make(map[storage.ObjRef]bool)
 	s.capCache = make(map[uint64]authz.Capability)
-	s.stageAvail = s.cfg.StageCapacity
+	s.stageAvail.Set(s.cfg.StageCapacity)
 	s.jopen = false // the in-memory journal handle died with the process
 }
 
@@ -403,7 +429,7 @@ func (s *Server) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inter
 	if err := s.checkCap(p, r.Cap); err != nil {
 		return nil, err
 	}
-	if r.Len <= s.stageAvail {
+	if r.Len <= s.stageAvail.Value() {
 		return s.stage(p, from, r)
 	}
 	return s.passthrough(p, from, r)
@@ -414,7 +440,7 @@ func (s *Server) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inter
 // durable): write-behind. The extent is queued for the drainers.
 func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}, error) {
 	epoch := s.epoch
-	s.stageAvail -= r.Len
+	s.stageAvail.Add(-r.Len)
 	var buf []byte
 	synthetic := false
 	_, err := storage.ChunkedPull(p, s.ep, s.name, from, r.DataPortal, r.Bits, r.Len, s.cfg.ChunkSize, s.bufPool,
@@ -436,7 +462,7 @@ func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}
 		return nil, fmt.Errorf("burst: crashed while staging obj %d", uint64(r.Ref.ID))
 	}
 	if err != nil {
-		s.stageAvail += r.Len
+		s.stageAvail.Add(r.Len)
 		return nil, err
 	}
 	staged := netsim.Payload{Size: r.Len, Data: buf}
@@ -450,12 +476,12 @@ func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}
 			return nil, fmt.Errorf("burst: crashed while journaling obj %d", uint64(r.Ref.ID))
 		}
 		if err != nil {
-			s.stageAvail += r.Len
+			s.stageAvail.Add(r.Len)
 			return nil, fmt.Errorf("burst: journal append: %w", err)
 		}
 	}
-	s.staged++
-	s.stagedBytes += r.Len
+	s.staged.Inc()
+	s.stagedBytes.Add(r.Len)
 	s.seen[r.Ref] = true
 	s.pending[r.Ref]++
 	s.enqueue(extent{ref: r.Ref, cap: r.Cap, off: r.Off, payload: staged, stagedAt: p.Now(), epoch: s.epoch, seq: seq})
@@ -493,7 +519,7 @@ func (s *Server) passthrough(p *sim.Proc, from netsim.NodeID, r stageReq) (inter
 			return nil, fmt.Errorf("burst: crashed while journaling obj %d", uint64(r.Ref.ID))
 		}
 	}
-	s.passthroughs++
+	s.passthroughs.Inc()
 	s.seen[r.Ref] = true // durable already: pending stays zero
 	return stageResp{Staged: false}, nil
 }

@@ -260,7 +260,7 @@ func (s *Server) journalDrained(p *sim.Proc, seq uint64) {
 	if s.jlive == 0 && s.jOff >= s.cfg.journalRetain() {
 		if err := s.jdev.Truncate(p, journalObjectID, 0); err == nil {
 			s.jOff = 0
-			s.truncations++
+			s.truncations.Inc()
 		}
 	}
 }
@@ -325,7 +325,7 @@ func (s *Server) replayJournal(p *sim.Proc) (recovered int, err error) {
 			return recovered, err
 		}
 		s.jlive++
-		s.stageAvail -= rec.length
+		s.stageAvail.Add(-rec.length)
 		s.pending[rec.ref]++
 		s.enqueue(extent{
 			ref:      rec.ref,

@@ -106,6 +106,7 @@ func coalesce(batch []extent) []mergedExtent {
 // (one token per extent; workers reconcile tokens against batch sizes).
 func (s *Server) enqueue(e extent) {
 	s.dq.add(e)
+	s.drainBacklog.Add(1)
 	s.drainq.Send(struct{}{})
 }
 
@@ -120,6 +121,7 @@ func (s *Server) drainWorker(p *sim.Proc) {
 		if len(batch) == 0 {
 			continue // another worker's batch covered this token's extent
 		}
+		s.drainBacklog.Add(-int64(len(batch)))
 		// The batch spans len(batch) tokens but only one Recv: consume the
 		// surplus so token count keeps matching pending extents. (The sim is
 		// cooperative and nothing blocks between take and these TryRecvs, so
@@ -145,7 +147,7 @@ func (s *Server) drainBatch(p *sim.Proc, tgt storage.Target, batch []extent) {
 		p.Sleep(sim.Rate(total, s.cfg.DrainBW))
 	}
 	merged := coalesce(batch)
-	s.coalesced += int64(len(batch) - len(merged))
+	s.coalesced.Add(int64(len(batch) - len(merged)))
 
 	var done, failed []extent
 	for _, m := range merged {
@@ -156,7 +158,7 @@ func (s *Server) drainBatch(p *sim.Proc, tgt storage.Target, batch []extent) {
 		done = append(done, m.parts...)
 	}
 	if len(done) > 0 {
-		s.drainSyncs++
+		s.drainSyncs.Inc()
 		if err := s.sc.Sync(p, tgt, done[0].cap); err != nil {
 			failed = append(failed, done...)
 			done = nil
@@ -173,9 +175,9 @@ func (s *Server) drainBatch(p *sim.Proc, tgt storage.Target, batch []extent) {
 		if e.epoch != s.epoch {
 			continue // crashed mid-drain: the replayed copy owns this record
 		}
-		s.stageAvail += e.payload.Size
-		s.drainedBytes += e.payload.Size
-		s.drainLat.Add(float64(p.Now().Sub(e.stagedAt)) / float64(time.Millisecond))
+		s.stageAvail.Add(e.payload.Size)
+		s.drainedBytes.Add(e.payload.Size)
+		s.drainLat.Observe(float64(p.Now().Sub(e.stagedAt)) / float64(time.Millisecond))
 		s.pending[e.ref]--
 		if s.jdev != nil && e.seq != 0 {
 			s.journalDrained(p, e.seq)

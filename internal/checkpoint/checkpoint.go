@@ -199,6 +199,15 @@ func RunLWFS(spec cluster.Spec, cfg Config) (Result, error) {
 func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Outcome counters for the whole tier, one set per cluster registry:
+	// dumps that committed, dumps rolled back, dumps that rode out a
+	// buffer crash, and the committed volume.
+	ck := cl.Metrics().Scope("checkpoint")
+	mDumps := ck.Counter("dumps")
+	mAborted := ck.Counter("aborted")
+	mRecovered := ck.Counter("recovered")
+	mBytes := ck.Counter("committed_bytes")
+
 	res := Result{Procs: cfg.Procs, Bytes: int64(cfg.Procs) * cfg.BytesPerProc}
 	clients := make([]*core.Client, cfg.Procs)
 	bclients := make([]*burst.Client, cfg.Procs)
@@ -288,11 +297,15 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 		// never sees a manifest over partially drained objects.
 		recovered, err := waitDrains(p, bclients[0], refs, cfg)
 		res.Recovered = recovered
+		if recovered {
+			mRecovered.Inc()
+		}
 		if err != nil {
 			if aerr := tx.Abort(p); aerr != nil {
 				panic(fmt.Sprintf("abort after %v: %v", err, aerr))
 			}
 			res.Aborted = true
+			mAborted.Inc()
 		} else {
 			// Ranks that finished on a server a later rank saw die must be
 			// re-homed before the manifest is written: a failed server's journal
@@ -315,6 +328,8 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			if err := tx.Commit(p); err != nil {
 				panic(fmt.Sprintf("commit: %v", err))
 			}
+			mDumps.Inc()
+			mBytes.Add(res.Bytes)
 		}
 		t.t.Close = p.Now().Sub(tailStart)
 		if len(cfg.Burst) > 0 {

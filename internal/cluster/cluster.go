@@ -19,6 +19,7 @@ import (
 	"lwfs/internal/authz"
 	"lwfs/internal/burst"
 	"lwfs/internal/core"
+	"lwfs/internal/metrics"
 	"lwfs/internal/naming"
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
@@ -166,6 +167,14 @@ type Cluster struct {
 
 	Realm *authn.Realm
 }
+
+// Metrics returns the cluster's instrument registry. Every service deployed
+// on the cluster registers its counters, gauges and histograms here under
+// hierarchical names ("rpc.osd0.0.served", "burst.bb1.drain.backlog");
+// snapshots are stamped with the kernel's virtual time. This is the one
+// observability surface experiments should read — the per-service Stats()
+// accessors are deprecated thin reads of the same instruments.
+func (c *Cluster) Metrics() *metrics.Registry { return c.Net.Metrics() }
 
 // New builds the nodes and network for a spec (no services yet).
 func New(spec Spec) *Cluster {

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"lwfs/internal/core"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
@@ -64,6 +65,15 @@ type Job struct {
 	caps    core.CapSet
 	nAggs   int
 	ranks   []*Rank
+
+	// Registered under `collio.*` (one instrument set per registry — all
+	// ranks of all jobs on a cluster aggregate, which is the unit the
+	// sweeps compare against independent writes).
+	collectives  *metrics.Counter // per-rank CollectiveWrite calls
+	shuffleMsgs  *metrics.Counter // phase-1 exchange messages
+	shuffleBytes *metrics.Counter // payload bytes shipped over the compute fabric
+	aggRuns      *metrics.Counter // coalesced runs written by aggregators
+	indepWrites  *metrics.Counter // baseline IndependentWrite object writes
 }
 
 // Rank is one process's handle on the job.
@@ -87,6 +97,12 @@ func NewJob(clients []*core.Client, caps core.CapSet, nAggs int) *Job {
 		nAggs = len(clients)
 	}
 	j := &Job{clients: clients, caps: caps, nAggs: nAggs}
+	co := clients[0].Endpoint().Metrics().Scope("collio")
+	j.collectives = co.Counter("collective_writes")
+	j.shuffleMsgs = co.Scope("shuffle").Counter("msgs")
+	j.shuffleBytes = co.Scope("shuffle").Counter("bytes")
+	j.aggRuns = co.Scope("agg").Counter("runs")
+	j.indepWrites = co.Counter("independent_writes")
 	barrier := sim.NewBarrier(len(clients))
 	for i, c := range clients {
 		r := &Rank{j: j, id: i, c: c, barrier: barrier}
@@ -132,6 +148,7 @@ type exchangeMsg struct {
 // aggregation and object writes — has completed at every rank.
 func (r *Rank) CollectiveWrite(p *sim.Proc, d Dataset, frags []Fragment) error {
 	j := r.j
+	j.collectives.Inc()
 	n := len(j.clients)
 	// Phase 1: partition my fragments by aggregator and ship them over the
 	// compute fabric. Every rank sends exactly one message per aggregator
@@ -177,6 +194,8 @@ func (r *Rank) CollectiveWrite(p *sim.Proc, d Dataset, frags []Fragment) error {
 			bytes += f.Payload.Size
 		}
 		dst := j.ranks[agg]
+		j.shuffleMsgs.Inc()
+		j.shuffleBytes.Add(bytes)
 		r.c.Endpoint().Put(dst.c.Node(), collPortal, portals.MatchBits(agg)|rankBitsBase,
 			exchangeMsg{From: r.id, Frags: parts[agg]},
 			netsim.SyntheticPayload(bytes+64))
@@ -191,6 +210,7 @@ func (r *Rank) CollectiveWrite(p *sim.Proc, d Dataset, frags []Fragment) error {
 			got = append(got, m.Frags...)
 		}
 		runs := coalesce(got)
+		j.aggRuns.Add(int64(len(runs)))
 		for _, run := range runs {
 			if _, err := r.c.Write(p, d.Objects[r.id], j.caps, run.Off, run.Payload); err != nil && opErr == nil {
 				opErr = fmt.Errorf("collio: aggregator %d write: %w", r.id, err)
@@ -254,6 +274,7 @@ func (r *Rank) IndependentWrite(p *sim.Proc, d Dataset, frags []Fragment) error 
 			if remaining.Payload.Data != nil {
 				piece = netsim.BytesPayload(remaining.Payload.Data[:take])
 			}
+			r.j.indepWrites.Inc()
 			if _, err := r.c.Write(p, d.Objects[agg], r.j.caps, objOff, piece); err != nil {
 				return err
 			}

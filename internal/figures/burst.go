@@ -33,6 +33,10 @@ type BurstOpts struct {
 	BytesPerProc int64
 	Trials       int
 	Progress     func(format string, args ...interface{}) // optional
+	// Metrics captures a registry snapshot pair (post-deploy, post-run)
+	// for the last trial of every sweep point, rendered by
+	// `lwfsbench -metrics` as per-phase delta tables.
+	Metrics bool
 }
 
 func (o *BurstOpts) defaults() {
@@ -69,8 +73,9 @@ type BurstPoint struct {
 
 // BurstResult is the whole sweep.
 type BurstResult struct {
-	Opts   BurstOpts
-	Points []BurstPoint
+	Opts     BurstOpts
+	Points   []BurstPoint
+	Captures []MetricsCapture // one per point when Opts.Metrics is set
 }
 
 // BurstSweep measures apparent vs durable checkpoint time at each point.
@@ -93,6 +98,7 @@ func BurstSweep(opts BurstOpts) (BurstResult, error) {
 				cl := cluster.New(spec)
 				cl.RegisterUser("app", "s3cret")
 				l := cl.DeployLWFS()
+				base := cl.Metrics().Snapshot()
 				cfg := checkpoint.Config{
 					Procs:        opts.Procs,
 					BytesPerProc: opts.BytesPerProc,
@@ -111,17 +117,22 @@ func BurstSweep(opts BurstOpts) (BurstResult, error) {
 				}
 				point.Apparent.Add(float64(r.Elapsed) / float64(time.Millisecond))
 				point.Durable.Add(float64(r.Durable) / float64(time.Millisecond))
-				var lat stats.Sample
-				var passthru int64
-				for _, b := range l.Burst {
-					lat.Merge(b.DrainLatencies())
-					passthru += b.Passthroughs()
-				}
+				// Tier observables come from the registry, not per-server
+				// getters: the drain-latency histograms merge exactly and
+				// pass-through counts sum across buffers.
+				snap := cl.Metrics().Snapshot()
+				lat := snap.MergedHist("burst.*.drain.latency_ms")
 				if lat.N() > 0 {
 					point.DrainP50.Add(lat.Percentile(50))
 					point.DrainP99.Add(lat.Percentile(99))
 				}
-				point.Passthru.Add(float64(passthru))
+				point.Passthru.Add(snap.Sum("burst.*.passthroughs"))
+				if opts.Metrics && trial == opts.Trials-1 {
+					res.Captures = append(res.Captures, MetricsCapture{
+						Label: fmt.Sprintf("buffers=%d bw=%s", nb, bwLabel(bw)),
+						Base:  base, Final: snap,
+					})
+				}
 			}
 			if opts.Progress != nil {
 				opts.Progress("burst n=%d bw=%s: apparent %s ms, durable %s ms",

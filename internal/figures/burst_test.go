@@ -16,6 +16,7 @@ func TestBurstSweepHidesDrainLatency(t *testing.T) {
 		Servers:      2,
 		BytesPerProc: 2 << 20,
 		Trials:       1,
+		Metrics:      true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,5 +53,17 @@ func TestBurstSweepHidesDrainLatency(t *testing.T) {
 	res.Render(&b)
 	if !strings.Contains(b.String(), "durable/apparent") {
 		t.Fatalf("render output:\n%s", b.String())
+	}
+	// The -metrics capture path: one snapshot pair per sweep point, and the
+	// rendered deltas carry the tier's instruments without any getter code.
+	if len(res.Captures) != len(res.Points) {
+		t.Fatalf("captures = %d, want one per point (%d)", len(res.Captures), len(res.Points))
+	}
+	b.Reset()
+	RenderMetricsCaptures(&b, res.Captures)
+	for _, want := range []string{"# metrics delta", "burst.bb0.drain.backlog", "rpc.", "cap_cache.hit_ratio"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("metrics capture output missing %q:\n%s", want, b.String())
+		}
 	}
 }

@@ -15,8 +15,27 @@ import (
 
 	"lwfs/internal/checkpoint"
 	"lwfs/internal/cluster"
+	"lwfs/internal/metrics"
 	"lwfs/internal/stats"
 )
+
+// MetricsCapture pairs two registry snapshots around one sweep point: Base
+// right after deployment, Final after the run. Experiments that accept a
+// Metrics option fill one per point; `lwfsbench -metrics` renders them as
+// delta tables (RPC rates, cache hit ratios, queue depths, drain backlog —
+// no experiment-specific getter code involved).
+type MetricsCapture struct {
+	Label       string
+	Base, Final metrics.Snapshot
+}
+
+// RenderMetricsCaptures prints each capture as a snapshot-delta table.
+func RenderMetricsCaptures(w io.Writer, caps []MetricsCapture) {
+	for _, c := range caps {
+		fmt.Fprintf(w, "\n## metrics: %s\n", c.Label)
+		c.Final.Diff(c.Base).WriteTable(w)
+	}
+}
 
 // Sweep parameters shared by the Figure 9 and Figure 10 experiments. The
 // paper sweeps 2–16 servers and up to ~64 client processes, ≥5 trials.

@@ -43,6 +43,9 @@ type RecoveryOpts struct {
 	RestartAt    time.Duration // buffer restart instant
 	Trials       int
 	Progress     func(format string, args ...interface{}) // optional
+	// Metrics captures registry snapshot pairs for the last trial of each
+	// medium (healthy and crash phases), for `lwfsbench -metrics`.
+	Metrics bool
 }
 
 func journalMedium(name string, sync time.Duration) RecoveryMedium {
@@ -96,8 +99,9 @@ type RecoveryPoint struct {
 
 // RecoveryResult is the whole sweep.
 type RecoveryResult struct {
-	Opts   RecoveryOpts
-	Points []RecoveryPoint
+	Opts     RecoveryOpts
+	Points   []RecoveryPoint
+	Captures []MetricsCapture // filled when Opts.Metrics is set
 }
 
 // RecoverySweep measures healthy and crashed checkpoint runs per medium.
@@ -108,9 +112,13 @@ func RecoverySweep(opts RecoveryOpts) (RecoveryResult, error) {
 		point := RecoveryPoint{Medium: med}
 		for trial := 0; trial < opts.Trials; trial++ {
 			for _, crash := range []bool{false, true} {
-				r, err := runRecoveryTrial(opts, med, trial, crash)
+				r, mc, err := runRecoveryTrial(opts, med, trial, crash)
 				if err != nil {
 					return res, fmt.Errorf("recovery %s trial=%d crash=%v: %w", med.Name, trial, crash, err)
+				}
+				if opts.Metrics && trial == opts.Trials-1 {
+					mc.Label = fmt.Sprintf("medium=%s crash=%v", med.Name, crash)
+					res.Captures = append(res.Captures, mc)
 				}
 				switch {
 				case !crash:
@@ -136,7 +144,7 @@ func RecoverySweep(opts RecoveryOpts) (RecoveryResult, error) {
 	return res, nil
 }
 
-func runRecoveryTrial(opts RecoveryOpts, med RecoveryMedium, trial int, crash bool) (checkpoint.Result, error) {
+func runRecoveryTrial(opts RecoveryOpts, med RecoveryMedium, trial int, crash bool) (checkpoint.Result, MetricsCapture, error) {
 	spec := cluster.DevCluster().WithServers(opts.Servers)
 	spec.ComputeNodes = opts.Procs
 	spec.BurstNodes = 1
@@ -147,6 +155,7 @@ func runRecoveryTrial(opts RecoveryOpts, med RecoveryMedium, trial int, crash bo
 	cl := cluster.New(spec)
 	cl.RegisterUser("app", "s3cret")
 	l := cl.DeployLWFS()
+	mc := MetricsCapture{Base: cl.Metrics().Snapshot()}
 	cfg := checkpoint.Config{
 		Procs:           opts.Procs,
 		BytesPerProc:    opts.BytesPerProc,
@@ -168,12 +177,13 @@ func runRecoveryTrial(opts RecoveryOpts, med RecoveryMedium, trial int, crash bo
 	}
 	r, err := checkpoint.SetupLWFS(cl, l, cfg)
 	if err != nil {
-		return checkpoint.Result{}, err
+		return checkpoint.Result{}, mc, err
 	}
 	if err := cl.Run(); err != nil {
-		return checkpoint.Result{}, err
+		return checkpoint.Result{}, mc, err
 	}
-	return *r, nil
+	mc.Final = cl.Metrics().Snapshot()
+	return *r, mc, nil
 }
 
 // Render prints the sweep: the journal's healthy-path tax (apparent time vs

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"lwfs/internal/core"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
@@ -66,7 +67,7 @@ type Reader struct {
 	lru      *list.List // front = most recent
 	inflight map[int64]*sim.Future
 
-	hits, misses, prefetches, evictions int64
+	hits, misses, prefetches, evictions *metrics.Counter
 	lastSeq                             int64 // last sequentially-read block
 }
 
@@ -77,16 +78,25 @@ func NewReader(p *sim.Proc, c *core.Client, ref storage.ObjRef, caps core.CapSet
 	if err != nil {
 		return nil, fmt.Errorf("iocache: stat: %w", err)
 	}
+	// Each reader registers its own instrument set — per-reader hit/miss
+	// behavior is an experiment observable, so readers must not aggregate
+	// into one shared counter.
+	reg := c.Endpoint().Metrics()
+	sc := reg.Scope("iocache").Scope(c.Endpoint().NodeName()).Scope(fmt.Sprintf("r%d", reg.NextID()))
 	return &Reader{
-		c:        c,
-		ref:      ref,
-		caps:     caps,
-		opts:     opts.withDefaults(),
-		size:     st.Size,
-		blocks:   make(map[int64]*block),
-		lru:      list.New(),
-		inflight: make(map[int64]*sim.Future),
-		lastSeq:  -2,
+		c:          c,
+		ref:        ref,
+		caps:       caps,
+		opts:       opts.withDefaults(),
+		size:       st.Size,
+		blocks:     make(map[int64]*block),
+		lru:        list.New(),
+		inflight:   make(map[int64]*sim.Future),
+		lastSeq:    -2,
+		hits:       sc.Counter("hits"),
+		misses:     sc.Counter("misses"),
+		prefetches: sc.Counter("prefetches"),
+		evictions:  sc.Counter("evictions"),
 	}, nil
 }
 
@@ -94,8 +104,11 @@ func NewReader(p *sim.Proc, c *core.Client, ref storage.ObjRef, caps core.CapSet
 func (r *Reader) Size() int64 { return r.size }
 
 // Stats reports cache hits, misses, prefetched blocks and evictions.
+//
+// Deprecated: thin read of `iocache.<node>.r<N>.hits|misses|prefetches|
+// evictions`; prefer Registry.Snapshot().
 func (r *Reader) Stats() (hits, misses, prefetches, evictions int64) {
-	return r.hits, r.misses, r.prefetches, r.evictions
+	return r.hits.Value(), r.misses.Value(), r.prefetches.Value(), r.evictions.Value()
 }
 
 func (r *Reader) nblocks() int64 {
@@ -116,7 +129,7 @@ func (r *Reader) insert(idx int64, payload netsim.Payload) *block {
 		victim := tail.Value.(*block)
 		r.lru.Remove(tail)
 		delete(r.blocks, victim.idx)
-		r.evictions++
+		r.evictions.Inc()
 	}
 	return b
 }
@@ -125,21 +138,21 @@ func (r *Reader) insert(idx int64, payload netsim.Payload) *block {
 // by reading it from the storage server.
 func (r *Reader) fetch(p *sim.Proc, idx int64) (netsim.Payload, error) {
 	if b, ok := r.blocks[idx]; ok {
-		r.hits++
+		r.hits.Inc()
 		r.lru.MoveToFront(b.elem)
 		return b.payload, nil
 	}
 	if fut, ok := r.inflight[idx]; ok {
 		// Single flight: join the fetch already under way (counts as a hit
 		// — no extra server request).
-		r.hits++
+		r.hits.Inc()
 		v, err := fut.Wait(p)
 		if err != nil {
 			return netsim.Payload{}, err
 		}
 		return v.(netsim.Payload), nil
 	}
-	r.misses++
+	r.misses.Inc()
 	fut := sim.NewFuture()
 	r.inflight[idx] = fut
 	payload, err := r.c.Read(p, r.ref, r.caps, idx*r.opts.BlockSize, r.blockLen(idx))
@@ -174,7 +187,7 @@ func (r *Reader) prefetchFrom(idx int64) {
 		}
 		fut := sim.NewFuture()
 		r.inflight[i] = fut
-		r.prefetches++
+		r.prefetches.Inc()
 		k.Spawn(fmt.Sprintf("iocache/prefetch-%d", i), func(q *sim.Proc) {
 			payload, err := r.c.Read(q, r.ref, r.caps, i*r.opts.BlockSize, r.blockLen(i))
 			delete(r.inflight, i)

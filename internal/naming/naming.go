@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lwfs/internal/authn"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
@@ -78,7 +79,7 @@ type Service struct {
 
 	credCache map[[32]byte]credEntry
 
-	lookups, creates, removes int64
+	lookups, creates, removes *metrics.Counter
 }
 
 type credEntry struct {
@@ -133,6 +134,10 @@ func Start(ep *portals.Endpoint, ac *authn.Client, part *txn.Participant, cfg Co
 		part:      part,
 		credCache: make(map[[32]byte]credEntry),
 	}
+	nm := ep.Metrics().Scope("naming")
+	s.lookups = nm.Counter("lookups")
+	s.creates = nm.Counter("creates")
+	s.removes = nm.Counter("removes")
 	portals.Serve(ep, Portal, "naming", 2, s.handle)
 	return s
 }
@@ -141,8 +146,11 @@ func Start(ep *portals.Endpoint, ac *authn.Client, part *txn.Participant, cfg Co
 func (s *Service) Node() netsim.NodeID { return s.node }
 
 // Stats reports lookups, creates and removes served.
+//
+// Deprecated: thin read of `naming.lookups|creates|removes`; prefer
+// Registry.Snapshot().
 func (s *Service) Stats() (lookups, creates, removes int64) {
-	return s.lookups, s.creates, s.removes
+	return s.lookups.Value(), s.creates.Value(), s.removes.Value()
 }
 
 func (s *Service) principal(p *sim.Proc, cred authn.Credential) (authn.Principal, error) {
@@ -203,7 +211,7 @@ func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inte
 		if err != nil {
 			return nil, err
 		}
-		s.creates++
+		s.creates.Inc()
 		nd, err := s.insert(r.Path, Entry{Ref: r.Ref, Owner: user}, r.Txn)
 		if err != nil {
 			return nil, err
@@ -221,7 +229,7 @@ func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inte
 		if _, err := s.principal(p, r.Cred); err != nil {
 			return nil, err
 		}
-		s.lookups++
+		s.lookups.Inc()
 		nd, err := s.walk(gopath.Clean(r.Path))
 		if err != nil {
 			return nil, err
@@ -233,7 +241,7 @@ func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inte
 		if err != nil {
 			return nil, err
 		}
-		s.removes++
+		s.removes.Inc()
 		nd, err := s.walk(gopath.Clean(r.Path))
 		if err != nil {
 			return nil, err

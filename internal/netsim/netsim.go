@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/sim"
 )
 
@@ -61,7 +62,12 @@ type Config struct {
 	SWOverhead time.Duration // per-message receive processing (interrupt, demux)
 }
 
-// Node is one endpoint of the network.
+// Node is one endpoint of the network. Its counters live in the network's
+// metrics registry under `net.<name>.*`: these are *link-level* message
+// counts — every portals Put/Get, data chunk, ack and RPC header crossing
+// the NIC — not to be confused with `rpc.<server>.served`, which counts
+// completed RPC requests (one served request typically moves several
+// net-level messages).
 type Node struct {
 	ID      NodeID
 	Name    string
@@ -70,9 +76,8 @@ type Node struct {
 	cfg     Config
 	handler Handler
 
-	sent, received int64
-	bytesSent      int64
-	bytesReceived  int64
+	sent, received           *metrics.Counter
+	bytesSent, bytesReceived *metrics.Counter
 }
 
 // Network is a full crossbar of nodes with uniform latency.
@@ -84,7 +89,8 @@ type Network struct {
 	fault   func(m Message) bool
 	rules   []*Fault
 	rng     *sim.Rand
-	dropped int64
+	reg     *metrics.Registry
+	dropped *metrics.Counter
 }
 
 // SetFault installs an ad-hoc fault injector consulted for every message at
@@ -96,7 +102,12 @@ type Network struct {
 func (n *Network) SetFault(f func(m Message) bool) { n.fault = f }
 
 // Dropped reports messages removed by fault injection.
-func (n *Network) Dropped() int64 { return n.dropped }
+func (n *Network) Dropped() int64 { return n.dropped.Value() }
+
+// Metrics returns the network's instrument registry — the cluster-wide
+// observability surface every service hanging off this network registers
+// into. Snapshots are stamped with the kernel's virtual time.
+func (n *Network) Metrics() *metrics.Registry { return n.reg }
 
 // SetTrace installs a message-trace hook, called at send ("tx") and
 // delivery ("rx") of every message. Pass nil to disable. The hook runs in
@@ -111,7 +122,8 @@ func (n *Network) traceMsg(m Message, event string) {
 
 // New creates an empty network with the given fabric latency.
 func New(k *sim.Kernel, latency time.Duration) *Network {
-	return &Network{k: k, latency: latency}
+	reg := metrics.NewRegistry(k.Now)
+	return &Network{k: k, latency: latency, reg: reg, dropped: reg.Counter("net.dropped")}
 }
 
 // Kernel returns the simulation kernel the network runs on.
@@ -126,12 +138,17 @@ func (n *Network) AddNode(name string, cfg Config) *Node {
 		panic(fmt.Sprintf("netsim: node %q: non-positive bandwidth", name))
 	}
 	id := NodeID(len(n.nodes))
+	scope := n.reg.Scope("net").Scope(name)
 	nd := &Node{
-		ID:      id,
-		Name:    name,
-		egress:  sim.NewFIFOServer(n.k, name+"/egress"),
-		ingress: sim.NewFIFOServer(n.k, name+"/ingress"),
-		cfg:     cfg,
+		ID:            id,
+		Name:          name,
+		egress:        sim.NewFIFOServer(n.k, name+"/egress"),
+		ingress:       sim.NewFIFOServer(n.k, name+"/ingress"),
+		cfg:           cfg,
+		sent:          scope.Counter("msgs_sent"),
+		received:      scope.Counter("msgs_received"),
+		bytesSent:     scope.Counter("bytes_sent"),
+		bytesReceived: scope.Counter("bytes_received"),
 	}
 	n.nodes = append(n.nodes, nd)
 	return nd
@@ -154,8 +171,14 @@ func (n *Network) Nodes() []*Node { return n.nodes }
 func (nd *Node) SetHandler(h Handler) { nd.handler = h }
 
 // Stats reports message and byte counters for a node.
+//
+// Deprecated: thin read of the `net.<name>.msgs_sent/msgs_received/
+// bytes_sent/bytes_received` registry instruments; prefer
+// Network.Metrics().Snapshot(). These count link-level messages (every
+// chunk, ack and header), a different unit from `rpc.<server>.served`,
+// which counts completed RPC requests.
 func (nd *Node) Stats() (sent, received, bytesSent, bytesReceived int64) {
-	return nd.sent, nd.received, nd.bytesSent, nd.bytesReceived
+	return nd.sent.Value(), nd.received.Value(), nd.bytesSent.Value(), nd.bytesReceived.Value()
 }
 
 // IngressBusy reports the total time the node's ingress server was busy.
@@ -176,17 +199,17 @@ func (n *Network) Send(m Message) {
 	}
 	drop, extra := n.applyFaults(m)
 	if drop {
-		n.dropped++
+		n.dropped.Inc()
 		return
 	}
-	src.sent++
-	src.bytesSent += m.Size
+	src.sent.Inc()
+	src.bytesSent.Add(m.Size)
 	n.traceMsg(m, "tx")
 	src.egress.Schedule(sim.Rate(m.Size, src.cfg.EgressBW), func() {
 		n.k.After(n.latency+extra, func() {
 			dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
-				dst.received++
-				dst.bytesReceived += m.Size
+				dst.received.Inc()
+				dst.bytesReceived.Add(m.Size)
 				n.traceMsg(m, "rx")
 				if dst.handler != nil {
 					dst.handler(m)
@@ -208,18 +231,18 @@ func (n *Network) SendWait(p *sim.Proc, m Message) {
 	}
 	drop, extra := n.applyFaults(m)
 	if drop {
-		n.dropped++
+		n.dropped.Inc()
 		return
 	}
-	src.sent++
-	src.bytesSent += m.Size
+	src.sent.Inc()
+	src.bytesSent.Add(m.Size)
 	n.traceMsg(m, "tx")
 	// Block for our egress slot, then launch the rest of the pipeline.
 	src.egress.Wait(p, sim.Rate(m.Size, src.cfg.EgressBW))
 	n.k.After(n.latency+extra, func() {
 		dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
-			dst.received++
-			dst.bytesReceived += m.Size
+			dst.received.Inc()
+			dst.bytesReceived.Add(m.Size)
 			n.traceMsg(m, "rx")
 			if dst.handler != nil {
 				dst.handler(m)

@@ -3,6 +3,7 @@ package pfs
 import (
 	"fmt"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
@@ -21,7 +22,7 @@ type MDS struct {
 	nextIno uint64
 	nsLock  *sim.Resource
 
-	creates, opens, unlinks, stats int64
+	creates, opens, unlinks, stats *metrics.Counter
 }
 
 // request bodies
@@ -52,6 +53,11 @@ func StartMDS(ep *portals.Endpoint, osts []OSTTarget, cfg Config) *MDS {
 		files:  make(map[string]*Layout),
 		nsLock: sim.NewResource(ep.Kernel(), "mds/namespace", 1),
 	}
+	md := ep.Metrics().Scope("pfs").Scope("mds")
+	m.creates = md.Counter("creates")
+	m.opens = md.Counter("opens")
+	m.unlinks = md.Counter("unlinks")
+	m.stats = md.Counter("stats")
 	portals.Serve(ep, MDSPortal, "mds", cfg.MDSThreads, m.handle)
 	return m
 }
@@ -60,8 +66,11 @@ func StartMDS(ep *portals.Endpoint, osts []OSTTarget, cfg Config) *MDS {
 func (m *MDS) Node() netsim.NodeID { return m.node }
 
 // Stats reports creates, opens, unlinks and stats served.
+//
+// Deprecated: thin read of `pfs.mds.creates|opens|unlinks|stats`; prefer
+// Registry.Snapshot().
 func (m *MDS) Stats() (creates, opens, unlinks, stats int64) {
-	return m.creates, m.opens, m.unlinks, m.stats
+	return m.creates.Value(), m.opens.Value(), m.unlinks.Value(), m.stats.Value()
 }
 
 func (m *MDS) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interface{}, error) {
@@ -85,7 +94,7 @@ func (m *MDS) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interfac
 			OSTs:       append([]OSTTarget(nil), m.osts[:stripes]...),
 		}
 		m.files[r.Path] = l
-		m.creates++
+		m.creates.Inc()
 		return *l, nil
 
 	case mdsOpenReq:
@@ -94,7 +103,7 @@ func (m *MDS) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interfac
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, r.Path)
 		}
-		m.opens++
+		m.opens.Inc()
 		return *l, nil
 
 	case mdsStatReq:
@@ -103,7 +112,7 @@ func (m *MDS) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interfac
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, r.Path)
 		}
-		m.stats++
+		m.stats.Inc()
 		return *l, nil
 
 	case mdsSetSizeReq:
@@ -125,7 +134,7 @@ func (m *MDS) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (interfac
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, r.Path)
 		}
 		delete(m.files, r.Path)
-		m.unlinks++
+		m.unlinks.Inc()
 		return nil, nil
 
 	default:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
@@ -23,7 +24,7 @@ type OST struct {
 
 	locks map[osd.ObjectID]*ostLock
 
-	lockSwitches, writesServed int64
+	lockSwitches, writesServed *metrics.Counter
 }
 
 type ostLock struct {
@@ -66,6 +67,9 @@ func StartOST(ep *portals.Endpoint, dev *osd.Device, port portals.Index, cfg Con
 		port:  port,
 		locks: make(map[osd.ObjectID]*ostLock),
 	}
+	po := ep.Metrics().Scope("pfs").Scope(dev.Name())
+	o.lockSwitches = po.Counter("lock_switches")
+	o.writesServed = po.Counter("writes_served")
 	portals.Serve(ep, port, dev.Name(), cfg.OSTThreads, o.handle)
 	return o
 }
@@ -77,7 +81,10 @@ func (o *OST) Target() OSTTarget { return OSTTarget{Node: o.ep.Node(), Port: o.p
 func (o *OST) Device() *osd.Device { return o.dev }
 
 // LockSwitches reports extent-lock holder changes (revocation callbacks).
-func (o *OST) LockSwitches() int64 { return o.lockSwitches }
+//
+// Deprecated: thin read of `pfs.<dev>.lock_switches`; prefer
+// Registry.Snapshot().
+func (o *OST) LockSwitches() int64 { return o.lockSwitches.Value() }
 
 // ostContainer tags PFS backing objects on the shared device model.
 const ostContainer osd.ContainerID = 1 << 40
@@ -138,7 +145,7 @@ func (o *OST) write(p *sim.Proc, from netsim.NodeID, r ostWriteReq) (interface{}
 			// state before the new grant is safe.
 			p.Sleep(o.cfg.RevokeCost + 2*o.ep.Network().Latency())
 			o.dev.Sync(p)
-			o.lockSwitches++
+			o.lockSwitches.Inc()
 		}
 		l.holder = r.ClientID
 	}
@@ -188,7 +195,7 @@ func (o *OST) write(p *sim.Proc, from netsim.NodeID, r ostWriteReq) (interface{}
 	if firstErr != nil {
 		return written, firstErr
 	}
-	o.writesServed++
+	o.writesServed.Inc()
 	return written, nil
 }
 

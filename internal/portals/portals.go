@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/sim"
 )
@@ -152,8 +153,8 @@ type Endpoint struct {
 	lateWatch map[lateKey]func()
 	lateOrder []lateKey // FIFO eviction when a watched reply never arrives
 
-	dropped   int64
-	lateDrops int64
+	dropped   *metrics.Counter
+	lateDrops *metrics.Counter
 	droppedAt map[Index]int64
 }
 
@@ -182,11 +183,14 @@ var ErrGetTimeout = errors.New("portals: get timeout")
 // NewEndpoint creates the portals endpoint for node and installs it as the
 // node's network handler.
 func NewEndpoint(net *netsim.Network, node *netsim.Node) *Endpoint {
+	scope := net.Metrics().Scope("portals").Scope(node.Name)
 	ep := &Endpoint{
-		net:     net,
-		node:    node,
-		tables:  make(map[Index][]*ME),
-		pending: make(map[uint64]*getPending),
+		net:       net,
+		node:      node,
+		tables:    make(map[Index][]*ME),
+		pending:   make(map[uint64]*getPending),
+		dropped:   scope.Counter("no_match_drops"),
+		lateDrops: scope.Counter("late_drops"),
 	}
 	node.SetHandler(ep.deliver)
 	return ep
@@ -195,21 +199,35 @@ func NewEndpoint(net *netsim.Network, node *netsim.Node) *Endpoint {
 // Node returns the endpoint's node ID.
 func (ep *Endpoint) Node() netsim.NodeID { return ep.node.ID }
 
+// NodeName returns the endpoint's node name — the instance segment services
+// use when registering metrics ("burst.bb1.staged").
+func (ep *Endpoint) NodeName() string { return ep.node.Name }
+
 // Network returns the underlying network.
 func (ep *Endpoint) Network() *netsim.Network { return ep.net }
+
+// Metrics returns the cluster-wide instrument registry (never nil for an
+// endpoint built on a live network).
+func (ep *Endpoint) Metrics() *metrics.Registry { return ep.net.Metrics() }
 
 // Kernel returns the simulation kernel.
 func (ep *Endpoint) Kernel() *sim.Kernel { return ep.net.Kernel() }
 
 // Dropped reports messages that arrived with no matching match entry.
-func (ep *Endpoint) Dropped() int64 { return ep.dropped }
+//
+// Deprecated: thin read of `portals.<node>.no_match_drops`; prefer
+// Metrics().Snapshot().
+func (ep *Endpoint) Dropped() int64 { return ep.dropped.Value() }
 
 // DroppedAt reports no-match drops at one portal index.
 func (ep *Endpoint) DroppedAt(pt Index) int64 { return ep.droppedAt[pt] }
 
 // LateDrops reports messages dropped because they arrived after the
 // operation that posted their match entry had timed out.
-func (ep *Endpoint) LateDrops() int64 { return ep.lateDrops }
+//
+// Deprecated: thin read of `portals.<node>.late_drops`; prefer
+// Metrics().Snapshot().
+func (ep *Endpoint) LateDrops() int64 { return ep.lateDrops.Value() }
 
 // SetGetRetry arms one-sided Gets with a retry policy: each attempt is
 // bounded by pol.Timeout and a lost request or reply is re-issued under a
@@ -246,10 +264,10 @@ func (ep *Endpoint) watchLate(pt Index, bits MatchBits, fn func()) {
 func (ep *Endpoint) dropNoMatch(pt Index, bits MatchBits) {
 	if fn, ok := ep.lateWatch[lateKey{pt: pt, bits: bits}]; ok {
 		delete(ep.lateWatch, lateKey{pt: pt, bits: bits})
-		ep.lateDrops++
+		ep.lateDrops.Inc()
 		fn()
 	}
-	ep.dropped++
+	ep.dropped.Inc()
 	if ep.droppedAt == nil {
 		ep.droppedAt = make(map[Index]int64)
 	}
@@ -415,7 +433,7 @@ func (ep *Endpoint) deliver(m netsim.Message) {
 	case getReply:
 		pend, ok := ep.pending[body.token]
 		if !ok {
-			ep.dropped++
+			ep.dropped.Inc()
 			return
 		}
 		delete(ep.pending, body.token)
@@ -425,7 +443,7 @@ func (ep *Endpoint) deliver(m netsim.Message) {
 		}
 		pend.fut.Complete(body.payload, nil)
 	default:
-		ep.dropped++
+		ep.dropped.Inc()
 	}
 }
 

@@ -3,8 +3,10 @@ package portals
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/sim"
 )
@@ -92,25 +94,40 @@ type Server struct {
 	down  bool
 	epoch uint64
 
-	served    int64
-	deduped   int64
-	discarded int64
+	// Registered under `rpc.<name>.*` — these count *completed RPC
+	// requests*, a different unit from the link-level `net.<node>.*`
+	// message counters (one served request typically moves several
+	// network messages: request, pull/push data, reply).
+	served    *metrics.Counter
+	deduped   *metrics.Counter
+	discarded *metrics.Counter
 }
 
+// metricName flattens an RPC server name into a registry instance segment:
+// "osd0.0/txn" registers under "rpc.osd0.0.txn.*".
+func metricName(name string) string { return strings.ReplaceAll(name, "/", ".") }
+
 // Serve attaches an RPC server at (ep, pt) with the given number of service
-// processes.
+// processes. The server registers `rpc.<name>.served|deduped|discarded`
+// counters and a `rpc.<name>.queue_depth` gauge in the network's metrics
+// registry.
 func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *Server {
 	if threads <= 0 {
 		panic(fmt.Sprintf("portals: server %q: need at least one thread", name))
 	}
 	k := ep.Kernel()
+	scope := ep.Metrics().Scope("rpc").Scope(metricName(name))
 	s := &Server{
 		ep: ep, pt: pt, name: name,
-		q:        sim.NewMailbox(k, name+"/rpcq"),
-		handler:  handler,
-		inflight: make(map[dedupKey]*sim.Future),
-		dedupCap: defaultDedupCap,
+		q:         sim.NewMailbox(k, name+"/rpcq"),
+		handler:   handler,
+		inflight:  make(map[dedupKey]*sim.Future),
+		dedupCap:  defaultDedupCap,
+		served:    scope.Counter("served"),
+		deduped:   scope.Counter("deduped"),
+		discarded: scope.Counter("discarded"),
 	}
+	scope.GaugeFunc("queue_depth", func() int64 { return int64(s.q.Len()) })
 	ep.Attach(pt, 0, ^MatchBits(0), &MD{EQ: s.q})
 	for i := 0; i < threads; i++ {
 		k.SpawnDaemon(fmt.Sprintf("%s/worker%d", name, i), s.worker)
@@ -119,15 +136,25 @@ func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *S
 }
 
 // Served reports the number of requests completed.
-func (s *Server) Served() int64 { return s.served }
+//
+// Deprecated: thin read of `rpc.<name>.served`; prefer
+// Endpoint.Metrics().Snapshot().
+func (s *Server) Served() int64 { return s.served.Value() }
 
 // Deduped reports retried requests answered without re-running the handler.
-func (s *Server) Deduped() int64 { return s.deduped }
+//
+// Deprecated: thin read of `rpc.<name>.deduped`; prefer
+// Endpoint.Metrics().Snapshot().
+func (s *Server) Deduped() int64 { return s.deduped.Value() }
 
 // Discarded reports requests dropped because the server was down.
-func (s *Server) Discarded() int64 { return s.discarded }
+//
+// Deprecated: thin read of `rpc.<name>.discarded`; prefer
+// Endpoint.Metrics().Snapshot().
+func (s *Server) Discarded() int64 { return s.discarded.Value() }
 
-// QueueLen reports requests waiting for a service thread.
+// QueueLen reports requests waiting for a service thread (also exported as
+// the `rpc.<name>.queue_depth` gauge).
 func (s *Server) QueueLen() int { return s.q.Len() }
 
 // Down reports whether the server is crashed.
@@ -148,7 +175,7 @@ func (s *Server) SetDown(down bool) {
 			if _, ok := s.q.TryRecv(); !ok {
 				break
 			}
-			s.discarded++
+			s.discarded.Inc()
 		}
 	}
 	s.down = down
@@ -158,7 +185,7 @@ func (s *Server) reply(epoch uint64, req rpcRequest, body interface{}, err error
 	if s.down || epoch != s.epoch {
 		return // crashed (or crashed+restarted) since this execution began
 	}
-	s.served++
+	s.served.Inc()
 	size := HeaderSize + req.RespSize
 	s.ep.Put(req.From, replyPortal, MatchBits(req.Token), rpcResponse{Token: req.Token, Body: body, Err: err},
 		netsim.SyntheticPayload(size-HeaderSize))
@@ -172,7 +199,7 @@ func (s *Server) worker(p *sim.Proc) {
 			continue
 		}
 		if s.down {
-			s.discarded++
+			s.discarded.Inc()
 			continue
 		}
 		epoch := s.epoch
@@ -185,7 +212,7 @@ func (s *Server) worker(p *sim.Proc) {
 		if fut, dup := s.inflight[key]; dup {
 			// Retry of a request we have seen: wait for (or read) the
 			// original execution's result and answer at this reply token.
-			s.deduped++
+			s.deduped.Inc()
 			v, _ := fut.Wait(p)
 			r := v.(dedupResult)
 			s.reply(epoch, req, r.body, r.err)
@@ -233,12 +260,25 @@ type Caller struct {
 	retry RetryPolicy
 	rng   *sim.Rand
 
-	lateReplies int64
-	retries     int64
+	// Per-caller instruments (tests assert individual callers), mirrored
+	// into the shared node-wide `rpc.client.<node>.retries|late_replies`
+	// registry counters so snapshots see the totals.
+	lateReplies metrics.Counter
+	retries     metrics.Counter
+
+	nodeLateReplies *metrics.Counter
+	nodeRetries     *metrics.Counter
 }
 
 // NewCaller creates a caller on ep.
-func NewCaller(ep *Endpoint) *Caller { return &Caller{ep: ep} }
+func NewCaller(ep *Endpoint) *Caller {
+	scope := ep.Metrics().Scope("rpc").Scope("client").Scope(ep.NodeName())
+	return &Caller{
+		ep:              ep,
+		nodeLateReplies: scope.Counter("late_replies"),
+		nodeRetries:     scope.Counter("retries"),
+	}
+}
 
 // Endpoint returns the caller's endpoint.
 func (c *Caller) Endpoint() *Endpoint { return c.ep }
@@ -258,10 +298,12 @@ func (c *Caller) Retry() RetryPolicy { return c.retry }
 
 // LateReplies reports responses that arrived after their attempt timed out.
 // Each was dropped at the reply portal — never delivered to another call.
-func (c *Caller) LateReplies() int64 { return c.lateReplies }
+// Node-wide totals are registered as `rpc.client.<node>.late_replies`.
+func (c *Caller) LateReplies() int64 { return c.lateReplies.Value() }
 
 // Retries reports re-sent attempts (excluding each call's first attempt).
-func (c *Caller) Retries() int64 { return c.retries }
+// Node-wide totals are registered as `rpc.client.<node>.retries`.
+func (c *Caller) Retries() int64 { return c.retries.Value() }
 
 // Call sends req (occupying reqSize bytes on the wire, in addition to the
 // portals header) to the server at (target, pt) and blocks p for the
@@ -277,7 +319,8 @@ func (c *Caller) Call(p *sim.Proc, target netsim.NodeID, pt Index, req interface
 	var lastErr error
 	for a := 0; a < c.retry.MaxAttempts; a++ {
 		if a > 0 {
-			c.retries++
+			c.retries.Inc()
+			c.nodeRetries.Inc()
 			p.Sleep(c.retry.Pause(a-1, c.rng))
 		}
 		v, err := c.call(p, target, pt, req, reqSize, respSize, c.retry.Timeout, reqID)
@@ -312,7 +355,10 @@ func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface
 			me.Unlink()
 			// If the response is merely late (not lost), count it when it
 			// finally lands instead of mistaking it for a stray message.
-			c.ep.watchLate(replyPortal, MatchBits(token), func() { c.lateReplies++ })
+			c.ep.watchLate(replyPortal, MatchBits(token), func() {
+				c.lateReplies.Inc()
+				c.nodeLateReplies.Inc()
+			})
 			return nil, ErrRPCTimeout
 		}
 		ev = v

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lwfs/internal/authz"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
@@ -104,7 +105,7 @@ type Server struct {
 	part     *txn.Participant
 	filters  map[string]FilterFunc
 
-	cacheHits, cacheMisses, invalidated int64
+	cacheHits, cacheMisses, invalidated *metrics.Counter
 	rpc, cacheRPC                       *portals.Server
 }
 
@@ -125,6 +126,10 @@ func Start(ep *portals.Endpoint, dev *osd.Device, az *authz.Client, rpcPort port
 		bufPool:   sim.NewResource(ep.Kernel(), fmt.Sprintf("%s/pinned", dev.Name()), cfg.PinnedBuffer),
 		capCache:  make(map[uint64]authz.Capability),
 	}
+	cc := ep.Metrics().Scope("storage").Scope(dev.Name()).Scope("cap_cache")
+	s.cacheHits = cc.Counter("hits")
+	s.cacheMisses = cc.Counter("misses")
+	s.invalidated = cc.Counter("invalidated")
 	s.rpc = portals.Serve(ep, s.rpcPort, dev.Name(), cfg.Threads, s.handle)
 	s.cacheRPC = portals.Serve(ep, s.cachePort, dev.Name()+"/capcache", 1, s.handleInvalidate)
 	s.part = txn.NewParticipant(ep, dev, s.rpcPort+2)
@@ -209,8 +214,11 @@ func (s *Server) Device() *osd.Device { return s.dev }
 func (s *Server) AuthzClient() *authz.Client { return s.az }
 
 // CacheStats reports capability-cache hits, misses and invalidations.
+//
+// Deprecated: thin read of `storage.<dev>.cap_cache.hits|misses|invalidated`;
+// prefer Registry.Snapshot().
 func (s *Server) CacheStats() (hits, misses, invalidated int64) {
-	return s.cacheHits, s.cacheMisses, s.invalidated
+	return s.cacheHits.Value(), s.cacheMisses.Value(), s.invalidated.Value()
 }
 
 // Served reports completed requests.
@@ -296,7 +304,7 @@ func (s *Server) handleInvalidate(p *sim.Proc, from netsim.NodeID, req interface
 	for _, id := range inv.CapIDs {
 		if _, ok := s.capCache[id]; ok {
 			delete(s.capCache, id)
-			s.invalidated++
+			s.invalidated.Inc()
 		}
 	}
 	return nil, nil
@@ -318,7 +326,7 @@ func (s *Server) checkCap(p *sim.Proc, c authz.Capability, op authz.Op, cid auth
 	if !s.cfg.DisableCapCache {
 		if cached, ok := s.capCache[c.ID]; ok && cached == c {
 			if s.ep.Kernel().Now() <= c.Expires {
-				s.cacheHits++
+				s.cacheHits.Inc()
 				return nil
 			}
 			// A cached capability does not outlive its expiry: drop it and
@@ -326,7 +334,7 @@ func (s *Server) checkCap(p *sim.Proc, c authz.Capability, op authz.Op, cid auth
 			delete(s.capCache, c.ID)
 		}
 	}
-	s.cacheMisses++
+	s.cacheMisses.Inc()
 	if err := s.az.VerifyCaps(p, []authz.Capability{c}, s.cachePort); err != nil {
 		return fmt.Errorf("%w: %w", ErrCapRejected, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lwfs/internal/core"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
@@ -24,6 +25,13 @@ type Engine struct {
 	c      *core.Client
 	caps   core.CapSet
 	window int
+
+	// Registered under `stripe.<node>.*`: per-object requests issued and
+	// bytes moved. Engines on one node share the instruments.
+	reqs       *metrics.Counter
+	bytesOut   *metrics.Counter
+	bytesIn    *metrics.Counter
+	syncRounds *metrics.Counter
 }
 
 // NewEngine wraps a logged-in core client and the capability set its
@@ -33,7 +41,14 @@ func NewEngine(c *core.Client, caps core.CapSet, window int) *Engine {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &Engine{c: c, caps: caps, window: window}
+	sc := c.Endpoint().Metrics().Scope("stripe").Scope(c.Endpoint().NodeName())
+	return &Engine{
+		c: c, caps: caps, window: window,
+		reqs:       sc.Counter("requests"),
+		bytesOut:   sc.Counter("bytes_written"),
+		bytesIn:    sc.Counter("bytes_read"),
+		syncRounds: sc.Counter("sync_rounds"),
+	}
 }
 
 // SetCaps replaces the capability set (after an explicit renewal).
@@ -50,6 +65,7 @@ func (e *Engine) Window() int { return e.window }
 // concern, exactly as with serial per-unit writes).
 func (e *Engine) WriteAt(p *sim.Proc, l Layout, off int64, payload netsim.Payload) (int64, error) {
 	reqs := l.Plan(off, payload.Size)
+	e.reqs.Add(int64(len(reqs)))
 	written := make([]int64, len(reqs))
 	err := FanOut(p, "stripe/write", len(reqs), e.window, func(wp *sim.Proc, i int) error {
 		n, werr := e.c.Write(wp, l.Objs[reqs[i].Obj], e.caps, reqs[i].Off, reqs[i].Gather(off, payload))
@@ -60,6 +76,7 @@ func (e *Engine) WriteAt(p *sim.Proc, l Layout, off int64, payload netsim.Payloa
 	for _, n := range written {
 		total += n
 	}
+	e.bytesOut.Add(total)
 	return total, err
 }
 
@@ -69,6 +86,8 @@ func (e *Engine) WriteAt(p *sim.Proc, l Layout, off int64, payload netsim.Payloa
 // reads past the end of short objects return the bytes present.
 func (e *Engine) ReadAt(p *sim.Proc, l Layout, off, length int64) (netsim.Payload, error) {
 	reqs := l.Plan(off, length)
+	e.reqs.Add(int64(len(reqs)))
+	e.bytesIn.Add(length)
 	out := netsim.Payload{Size: length}
 	got := make([]netsim.Payload, len(reqs))
 	err := FanOut(p, "stripe/read", len(reqs), e.window, func(wp *sim.Proc, i int) error {
@@ -111,6 +130,7 @@ func (l Layout) Targets() []storage.Target {
 // SyncTargets flushes every target concurrently (the fan-out form of the
 // per-server Sync loop).
 func (e *Engine) SyncTargets(p *sim.Proc, targets []storage.Target) error {
+	e.syncRounds.Inc()
 	return FanOut(p, "stripe/sync", len(targets), e.window, func(wp *sim.Proc, i int) error {
 		return e.c.Sync(wp, targets[i], e.caps)
 	})

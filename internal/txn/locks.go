@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
@@ -94,12 +95,16 @@ type LockServer struct {
 	opCost time.Duration
 	locks  map[string]*lockState
 
-	grants, waits, timeouts int64
+	grants, waits, timeouts *metrics.Counter
 }
 
 // StartLockServer binds a lock server at (ep, port).
 func StartLockServer(ep *portals.Endpoint, port portals.Index, opCost time.Duration) *LockServer {
 	ls := &LockServer{k: ep.Kernel(), ep: ep, opCost: opCost, locks: make(map[string]*lockState)}
+	lk := ep.Metrics().Scope("lock")
+	ls.grants = lk.Counter("grants")
+	ls.waits = lk.Counter("waits")
+	ls.timeouts = lk.Counter("timeouts")
 	eq := sim.NewMailbox(ls.k, "lockserver/eq")
 	ep.Attach(port, 0, ^portals.MatchBits(0), &portals.MD{EQ: eq})
 	ls.k.SpawnDaemon("lockserver", func(p *sim.Proc) {
@@ -113,8 +118,11 @@ func StartLockServer(ep *portals.Endpoint, port portals.Index, opCost time.Durat
 }
 
 // Stats reports grants, waits (requests that queued) and timeouts.
+//
+// Deprecated: thin read of `lock.grants|waits|timeouts`; prefer
+// Registry.Snapshot().
 func (ls *LockServer) Stats() (grants, waits, timeouts int64) {
-	return ls.grants, ls.waits, ls.timeouts
+	return ls.grants.Value(), ls.waits.Value(), ls.timeouts.Value()
 }
 
 // QueueLen reports the number of waiters on a named lock.
@@ -164,14 +172,14 @@ func (ls *LockServer) lock(r lockReq, reply func(error)) {
 	// Re-entrant same-mode acquisition by a current holder.
 	if _, held := st.holders[r.Owner]; held && st.mode == r.Mode {
 		st.holders[r.Owner]++
-		ls.grants++
+		ls.grants.Inc()
 		reply(nil)
 		return
 	}
 	if st.compatible(r.Mode) && len(st.queue) == 0 {
 		st.mode = r.Mode
 		st.holders[r.Owner]++
-		ls.grants++
+		ls.grants.Inc()
 		reply(nil)
 		return
 	}
@@ -179,7 +187,7 @@ func (ls *LockServer) lock(r lockReq, reply func(error)) {
 		reply(ErrWouldBlock)
 		return
 	}
-	ls.waits++
+	ls.waits.Inc()
 	st.queue = append(st.queue, &lockWaiter{owner: r.Owner, mode: r.Mode, reply: reply})
 }
 
@@ -208,12 +216,12 @@ func (ls *LockServer) cancel(r cancelReq) {
 	for _, w := range st.queue {
 		if w.owner == r.Owner && !w.canceled {
 			w.canceled = true
-			ls.timeouts++
+			ls.timeouts.Inc()
 			return
 		}
 	}
 	if st.holders[r.Owner] > 0 {
-		ls.timeouts++
+		ls.timeouts.Inc()
 		ls.unlock(unlockReq{Name: r.Name, Owner: r.Owner}) //nolint:errcheck
 	}
 }
@@ -233,7 +241,7 @@ func (ls *LockServer) promote(st *lockState) {
 		st.queue = st.queue[1:]
 		st.mode = w.mode
 		st.holders[w.owner]++
-		ls.grants++
+		ls.grants.Inc()
 		w.reply(nil)
 		if w.mode == Exclusive {
 			return

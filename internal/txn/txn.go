@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
@@ -120,7 +121,7 @@ type Participant struct {
 	// FailPrepare injects a no vote for testing coordinator abort paths.
 	FailPrepare func(id ID) bool
 
-	prepares, commits, aborts int64
+	prepares, commits, aborts *metrics.Counter
 }
 
 // journalContainer tags journal objects; container 0 is reserved for system
@@ -140,6 +141,10 @@ func NewParticipant(ep *portals.Endpoint, dev *osd.Device, port portals.Index) *
 		dev:   dev,
 		state: make(map[ID]*txnState),
 	}
+	tx := ep.Metrics().Scope("txn").Scope(dev.Name())
+	pt.prepares = tx.Counter("prepares")
+	pt.commits = tx.Counter("commits")
+	pt.aborts = tx.Counter("aborts")
 	// The journal object is created lazily by the first logging process;
 	// creating it here would require a process context.
 	pt.rpc = portals.Serve(ep, port, dev.Name()+"/txn", 2, pt.handle)
@@ -166,8 +171,11 @@ func (pt *Participant) Restart() { pt.rpc.SetDown(false) }
 func (pt *Participant) Down() bool { return pt.rpc.Down() }
 
 // Stats reports prepares, commits and aborts handled.
+//
+// Deprecated: thin read of `txn.<dev>.prepares|commits|aborts`; prefer
+// Registry.Snapshot().
 func (pt *Participant) Stats() (prepares, commits, aborts int64) {
-	return pt.prepares, pt.commits, pt.aborts
+	return pt.prepares.Value(), pt.commits.Value(), pt.aborts.Value()
 }
 
 // Status reports the local status of a transaction (StatusActive for
@@ -277,7 +285,7 @@ func (pt *Participant) prepare(p *sim.Proc, id ID) error {
 	}
 	pt.dev.Sync(p)
 	st.status = StatusPrepared
-	pt.prepares++
+	pt.prepares.Inc()
 	return nil
 }
 
@@ -298,7 +306,7 @@ func (pt *Participant) commit(p *sim.Proc, id ID) error {
 		fn(p)
 	}
 	st.status = StatusCommitted
-	pt.commits++
+	pt.commits.Inc()
 	return nil
 }
 
@@ -320,7 +328,7 @@ func (pt *Participant) abortLocal(p *sim.Proc, id ID, st *txnState) {
 		st.onAbort[i](p)
 	}
 	st.status = StatusAborted
-	pt.aborts++
+	pt.aborts.Inc()
 }
 
 // Recover replays the journal after a restart: every transaction seen is

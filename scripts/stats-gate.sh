@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# stats-gate.sh: hold the line on the metrics migration.
+#
+# The registry (internal/metrics) is the one observability surface; the
+# multi-return Stats() accessors that predate it survive only as deprecated
+# thin reads in the packages listed below. Any NEW multi-return Stats()
+# accessor outside that list means someone grew a parallel hand-rolled
+# counter path instead of registering instruments — fail the build and point
+# them at the registry.
+#
+# Run from the repository root: ./scripts/stats-gate.sh
+set -u
+
+# Packages whose legacy Stats() accessors are grandfathered as deprecated
+# thin reads over registry instruments (see DESIGN.md "Observability").
+ALLOWED='internal/iocache/|internal/authz/|internal/authn/|internal/txn/|internal/naming/|internal/pfs/|internal/netsim/'
+
+offenders=$(grep -rn --include='*.go' 'func ([^)]*) Stats() (' internal cmd 2>/dev/null \
+	| grep -v '_test\.go:' \
+	| grep -Ev "^($ALLOWED)")
+
+if [ -n "$offenders" ]; then
+	echo "stats-gate: new multi-return Stats() accessor(s) outside the deprecation allowlist:" >&2
+	echo "$offenders" >&2
+	echo "stats-gate: register metrics.Counter/Gauge/Histogram instruments instead (see internal/metrics)." >&2
+	exit 1
+fi
+echo "stats-gate: ok"
