@@ -11,11 +11,12 @@
 //	lwfsbench -experiment burst             # burst-tier apparent vs durable sweep
 //	lwfsbench -experiment recovery          # journaled staging under buffer crash
 //	lwfsbench -experiment stripe            # striped-engine single-file bandwidth
+//	lwfsbench -experiment rebuild           # redundancy cost, degraded reads, rebuild
 //	lwfsbench -experiment all
 //
 // The -metrics flag appends per-sweep-point registry snapshot deltas (RPC
-// rates, cache hit ratios, queue depths, drain backlog) to the burst and
-// recovery experiments.
+// rates, cache hit ratios, queue depths, drain backlog) to the burst,
+// recovery, and rebuild experiments.
 //
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
 // fast smoke run; the defaults reproduce the paper's parameters (512
@@ -41,7 +42,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -49,7 +50,7 @@ func main() {
 		bytesMB    = flag.Int64("mb-per-proc", 0, "MB written per process (0 = paper's 512)")
 		verbose    = flag.Bool("v", false, "progress output to stderr")
 		plot       = flag.Bool("plot", false, "render ASCII plots of the figure shapes")
-		metrics    = flag.Bool("metrics", false, "dump registry snapshot deltas per sweep point (burst, recovery)")
+		metrics    = flag.Bool("metrics", false, "dump registry snapshot deltas per sweep point (burst, recovery, rebuild)")
 	)
 	flag.Parse()
 
@@ -245,6 +246,22 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
+		return nil
+	})
+
+	run("rebuild", func() error {
+		ro := figures.RebuildOpts{Trials: *trials, Progress: progress, Metrics: *metrics}
+		if *quick {
+			ro.Trials = 1
+			ro.DataMB = 4
+			ro.Objects = []int{2, 4}
+		}
+		res, err := figures.RebuildSweep(ro)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
 		return nil
 	})
 

@@ -208,6 +208,8 @@ type Server struct {
 	passthroughs *metrics.Counter // writes degraded to synchronous pass-through
 	stagedBytes  *metrics.Counter
 	drainedBytes *metrics.Counter
+	adopted      *metrics.Counter // extents re-staged from a dead peer's journal
+	adoptedBytes *metrics.Counter
 	coalesced    *metrics.Counter   // extents merged away by the drain scheduler
 	drainSyncs   *metrics.Counter   // flush barriers issued against storage
 	drainLat     *metrics.Histogram // staging-ack to durable, milliseconds
@@ -265,6 +267,8 @@ func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, 
 		passthroughs: scope.Counter("passthroughs"),
 		stagedBytes:  scope.Counter("staged_bytes"),
 		drainedBytes: scope.Counter("drained_bytes"),
+		adopted:      scope.Counter("adopted"),
+		adoptedBytes: scope.Counter("adopted_bytes"),
 		coalesced:    drain.Counter("coalesced"),
 		drainSyncs:   drain.Counter("syncs"),
 		drainLat:     drain.Histogram("latency_ms"),

@@ -27,6 +27,16 @@ import (
 //	            "drained" completion marker for an earlier "stage" Seq, no
 //	                      payload (written without a flush barrier: losing
 //	                      one costs an idempotent re-drain, never data)
+//	            "adopted" fencing marker appended by a *peer* buffer that
+//	                      re-staged this journal's undrained records onto
+//	                      itself (AdoptJournal); covers every seq <= Seq
+//
+// Adoption (restage.go): when a journaled buffer dies and cannot be
+// restarted promptly, a peer can call AdoptJournal on the dead buffer's
+// journal device, re-stage the undrained extents into its own window (and
+// its own journal), and vouch for them through its own DrainWait. The
+// "adopted" marker it leaves behind fences the original owner: a later
+// Restart replays around the adopted records instead of re-queueing them.
 //
 // Recovery (Server.Restart) walks the log: "stage" records without a
 // matching "drained" marker are re-staged — payload re-read from the journal
@@ -66,6 +76,13 @@ const (
 	jKindStage   = "stage"
 	jKindDurable = "durable"
 	jKindDrained = "drained"
+	// jKindAdopted is appended to a *foreign* journal by AdoptJournal: a
+	// peer buffer took ownership of every record with seq <= this record's
+	// seq. The marker fences the original owner: should it restart later,
+	// replayJournal skips the adopted records instead of re-queueing them —
+	// two buffers must never both claim responsibility for one extent. The
+	// ref field names the adopter (node, rpc port), for the record.
+	jKindAdopted = "adopted"
 )
 
 // jrec is one parsed journal record.
@@ -283,6 +300,7 @@ func (s *Server) replayJournal(p *sim.Proc) (recovered int, err error) {
 	}
 	var staged []jrec
 	drained := make(map[uint64]bool)
+	var adoptedThrough uint64
 	for off := int64(0); off+jHeaderSize <= st.Size; {
 		hdr, err := s.jdev.Read(p, journalObjectID, off, jHeaderSize)
 		if err != nil {
@@ -300,6 +318,11 @@ func (s *Server) replayJournal(p *sim.Proc) (recovered int, err error) {
 		case jKindDrained:
 			drained[rec.seq] = true
 			off += jHeaderSize
+		case jKindAdopted:
+			if rec.seq > adoptedThrough {
+				adoptedThrough = rec.seq
+			}
+			off += jHeaderSize
 		default: // durable
 			s.seen[rec.ref] = true
 			off += jHeaderSize
@@ -311,10 +334,21 @@ func (s *Server) replayJournal(p *sim.Proc) (recovered int, err error) {
 	s.jOff = st.Size
 	s.jopen = true
 	for _, rec := range staged {
-		s.seen[rec.ref] = true
 		if drained[rec.seq] {
+			// Drained by this buffer before the crash: the data is durable
+			// on storage, so this incarnation can still vouch for the ref.
+			s.seen[rec.ref] = true
 			continue
 		}
+		if rec.seq <= adoptedThrough {
+			// A peer adopted this record while we were down — it now owns
+			// the extent's durability promise. Re-queueing it here would
+			// put two buffers in charge of one extent; and we must not
+			// vouch for the ref either, since only the adopter knows when
+			// its re-staged copy actually drains.
+			continue
+		}
+		s.seen[rec.ref] = true
 		var payload netsim.Payload
 		if rec.real {
 			payload, err = s.jdev.Read(p, journalObjectID, rec.payloadOff, rec.length)

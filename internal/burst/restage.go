@@ -1,0 +1,152 @@
+package burst
+
+import (
+	"errors"
+	"fmt"
+
+	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+)
+
+// AdoptJournal is the burst-tier analogue of a degraded stripe rebuild: a
+// surviving buffer takes over a dead peer's durability promises. It walks
+// the peer's staging journal on jdev, re-stages every undrained extent into
+// this buffer's own window (journaling each one locally first, so the
+// adopted promise is as crash-proof as a native one), and re-queues them
+// for this buffer's drainers. Pass-through and drained records are absorbed
+// as vouchable refs, so a DrainWait redirected at the adopter covers the
+// peer's whole absorbed set, not just its backlog.
+//
+// Fencing: before returning, AdoptJournal appends a synced "adopted" marker
+// to the peer's journal covering every sequence it read. Should the dead
+// buffer restart later, its replay skips the adopted records — ownership
+// moved here, and two buffers must never both drain (or vouch for) one
+// extent. The caller is responsible for the other direction: the peer must
+// be fail-stopped *before* adoption begins (a live owner appending
+// concurrently is not fenced by the marker).
+//
+// Capacity: adoption bypasses staging admission — the window gauge may go
+// negative. Recovery data has nowhere else to live, and the deficit drains
+// off at the normal pace; new client writes meanwhile degrade to
+// pass-through, which is the usual full-window behavior.
+//
+// Returns the number of extents re-staged. Adopting an empty or absent
+// journal is a no-op.
+func (s *Server) AdoptJournal(p *sim.Proc, jdev *osd.Device) (adopted int, err error) {
+	if jdev == nil {
+		return 0, fmt.Errorf("burst: adopt: nil journal device")
+	}
+	if jdev == s.jdev {
+		return 0, fmt.Errorf("burst: adopt: cannot adopt own journal")
+	}
+	if s.rpc.Down() {
+		return 0, fmt.Errorf("burst: adopt: adopter is down")
+	}
+	st, err := jdev.Stat(journalObjectID)
+	if errors.Is(err, osd.ErrNoObject) {
+		return 0, nil // the peer never staged anything
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	var (
+		staged         []jrec
+		drained        = make(map[uint64]bool)
+		adoptedThrough uint64
+		maxSeq         uint64
+		tail           int64
+	)
+	for off := int64(0); off+jHeaderSize <= st.Size; {
+		hdr, err := jdev.Read(p, journalObjectID, off, jHeaderSize)
+		if err != nil {
+			return 0, err
+		}
+		rec, err := decodeHeader(hdr.Data)
+		if err != nil {
+			return 0, err
+		}
+		switch rec.kind {
+		case jKindStage:
+			rec.payloadOff = off + jHeaderSize
+			staged = append(staged, rec)
+			off += jHeaderSize + rec.length
+		case jKindAdopted:
+			if rec.seq > adoptedThrough {
+				adoptedThrough = rec.seq
+			}
+			off += jHeaderSize
+		case jKindDrained:
+			drained[rec.seq] = true
+			off += jHeaderSize
+		default: // durable
+			s.seen[rec.ref] = true
+			off += jHeaderSize
+		}
+		if rec.seq > maxSeq {
+			maxSeq = rec.seq
+		}
+		tail = off
+	}
+
+	epoch := s.epoch
+	for _, rec := range staged {
+		if drained[rec.seq] {
+			s.seen[rec.ref] = true // durable on storage: safe to vouch
+			continue
+		}
+		if rec.seq <= adoptedThrough {
+			continue // already adopted (by us or another peer) in an earlier pass
+		}
+		var payload netsim.Payload
+		if rec.real {
+			payload, err = jdev.Read(p, journalObjectID, rec.payloadOff, rec.length)
+		} else {
+			payload, err = jdev.ReadSynthetic(p, journalObjectID, rec.payloadOff, rec.length)
+		}
+		if err != nil {
+			return adopted, err
+		}
+		req := stageReq{Cap: rec.cap.cap(), Ref: rec.ref, Off: rec.off, Len: rec.length}
+		var seq uint64
+		if s.jdev != nil {
+			seq, err = s.journalStage(p, req, payload)
+			if epoch != s.epoch {
+				return adopted, fmt.Errorf("burst: crashed while adopting obj %d", uint64(rec.ref.ID))
+			}
+			if err != nil {
+				return adopted, fmt.Errorf("burst: adopt: journal append: %w", err)
+			}
+		}
+		s.stageAvail.Add(-rec.length)
+		s.adopted.Inc()
+		s.adoptedBytes.Add(rec.length)
+		s.seen[rec.ref] = true
+		s.pending[rec.ref]++
+		s.enqueue(extent{ref: rec.ref, cap: req.Cap, off: rec.off, payload: payload, stagedAt: p.Now(), epoch: s.epoch, seq: seq})
+		adopted++
+	}
+	if epoch != s.epoch {
+		return adopted, fmt.Errorf("burst: crashed mid-adoption")
+	}
+
+	// Fence the original owner: one synced marker covering everything read.
+	// Written even when nothing new was adopted, so the peer's replay and a
+	// second adopter both observe a consistent high-water mark.
+	marker := jrec{
+		seq:  maxSeq,
+		kind: jKindAdopted,
+		ref:  storage.ObjRef{Node: s.Node(), Port: s.rpcPort},
+	}
+	if err := jdev.Write(p, journalObjectID, tail, netsim.BytesPayload(encodeHeader(marker))); err != nil {
+		return adopted, fmt.Errorf("burst: adopt: fencing marker: %w", err)
+	}
+	jdev.Sync(p)
+	return adopted, nil
+}
+
+// Adopted reports extents this buffer re-staged from dead peers' journals
+// (the `burst.<node>.adopted` instrument).
+func (s *Server) Adopted() int64 { return s.adopted.Value() }

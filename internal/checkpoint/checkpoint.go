@@ -29,6 +29,7 @@ import (
 	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
 	"lwfs/internal/txn"
 )
 
@@ -63,6 +64,15 @@ type Config struct {
 	// 5 s default, negative = wait forever). A crashed buffer surfaces as
 	// a timeout after this long, turning into a detectable abort.
 	DrainTimeout time.Duration
+	// Redundant, when set, dumps each rank's state as a redundant stripe
+	// layout (see RedundantDump) instead of a single object: a storage
+	// server crashing mid-dump — even one that never restarts — is ridden
+	// out with zero data loss, the commit tail abandons the dead copies,
+	// and the v2 manifest restores through degraded reads. Unrecoverable
+	// loss (RAID-0, too many failures) still aborts detectably. Redundant
+	// dumps go straight at the storage servers; combining with Burst is
+	// not supported.
+	Redundant *RedundantDump
 	// RecoveryTimeout, when positive, makes the commit tail ride out a
 	// buffer crash instead of aborting at the first drain-wait timeout:
 	// rank 0 keeps re-issuing DrainWait against the buffer (which, if
@@ -197,6 +207,14 @@ func RunLWFS(spec cluster.Spec, cfg Config) (Result, error) {
 // Restore pass). The user "app"/"s3cret" must be registered. The Result is
 // populated once the simulation has run.
 func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error) {
+	if cfg.Redundant != nil {
+		if err := cfg.Redundant.validate(); err != nil {
+			return nil, err
+		}
+		if len(cfg.Burst) > 0 {
+			return nil, fmt.Errorf("checkpoint: redundant dumps cannot route through the burst tier")
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Outcome counters for the whole tier, one set per cluster registry:
@@ -284,10 +302,12 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 		// object, create the name, commit (the Figure 8 tail).
 		tailStart := p.Now()
 		refs := make([]storage.ObjRef, cfg.Procs)
-		refs[0] = t.ref
+		layouts := make([]stripe.Layout, cfg.Procs)
+		dumpErrs := make([]error, cfg.Procs)
+		refs[0], layouts[0], dumpErrs[0] = t.ref, t.l, t.err
 		for i := 1; i < cfg.Procs; i++ {
 			m := gather.Recv(p).(gatherMsg)
-			refs[m.rank] = m.ref
+			refs[m.rank], layouts[m.rank], dumpErrs[m.rank] = m.ref, m.layout, m.err
 		}
 		// Burst mode: the commit only ever covers drained data. Wait for
 		// every buffer to vouch for its extents; if one cannot (crashed and
@@ -306,6 +326,19 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			}
 			res.Aborted = true
 			mAborted.Inc()
+		} else if cfg.Redundant != nil {
+			// Redundant commit gate: commit only if every rank's layout
+			// survived the observed failures (degraded reads can serve the
+			// rest); otherwise roll back — both outcomes are decided here,
+			// never silently corrupted.
+			var mdT ProcTimes
+			if redundantTail(p, c, caps, h, layouts, dumpErrs, placement, cfg, &mdT) {
+				res.Aborted = true
+				mAborted.Inc()
+			} else {
+				mDumps.Inc()
+				mBytes.Add(res.Bytes)
+			}
 		} else {
 			// Ranks that finished on a server a later rank saw die must be
 			// re-homed before the manifest is written: a failed server's journal
@@ -355,7 +388,7 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			start := p.Now()
 			p.Sleep(jitters[i])
 			t := dumpRank(p, c, bclients[i], sh.caps, sh.tx, i, placement, cfg)
-			gather.Send(gatherMsg{rank: i, ref: t.ref})
+			gather.Send(gatherMsg{rank: i, ref: t.ref, layout: t.l, err: t.err})
 			t.t.Total = p.Now().Sub(start)
 			res.fold(t.t)
 			done.Send(struct{}{})
@@ -371,8 +404,10 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 }
 
 type gatherMsg struct {
-	rank int
-	ref  storage.ObjRef
+	rank   int
+	ref    storage.ObjRef
+	layout stripe.Layout // redundant mode: the rank's dump layout
+	err    error         // redundant mode: a failure the tail must abort on
 }
 
 // txnHandle shares one coordinator-side transaction between the job's
@@ -401,11 +436,16 @@ func (h *txnHandle) markFailed(e txn.Endpoint) {
 type dumpOut struct {
 	t   ProcTimes
 	ref storage.ObjRef
+	l   stripe.Layout // redundant mode only
+	err error         // redundant mode only: tolerated, decided at the tail
 }
 
-// dumpRank runs one rank's dump: through the burst tier when the config
-// routes it there, or straight at the storage servers otherwise.
+// dumpRank runs one rank's dump: as a redundant stripe layout, through the
+// burst tier, or straight at the storage servers, per the config.
 func dumpRank(p *sim.Proc, c *core.Client, bc *burst.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
+	if cfg.Redundant != nil {
+		return dumpRedundant(p, c, caps, h, rank, placement, cfg)
+	}
 	if len(cfg.Burst) > 0 {
 		return dumpViaBurst(p, c, bc, caps, h, rank, placement, cfg)
 	}

@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"lwfs/internal/core"
+	"lwfs/internal/netsim"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
+)
+
+// RedundantDump selects redundant per-rank dumps through the stripe engine:
+// each rank's state becomes a striped layout with replica or parity
+// protection instead of a single object, so a storage-server crash mid-dump
+// is ridden out with zero data loss — the dead server's copies are simply
+// abandoned and the committed manifest (v2, carrying the layouts) restores
+// through degraded reads. Scheme Raid0 stripes without protection: any
+// server loss then aborts the checkpoint detectably, which is the control
+// arm redundancy is measured against.
+type RedundantDump struct {
+	Scheme stripe.Scheme
+	Width  int   // data columns per rank (>= 1)
+	Copies int   // replica copies (Scheme Replica only; 0 = 2)
+	Unit   int64 // stripe unit, bytes (0 = 256 KiB)
+	Window int   // engine fan-out window (0 = 8)
+}
+
+func (r *RedundantDump) copies() int {
+	if r.Scheme == stripe.Replica && r.Copies == 0 {
+		return 2
+	}
+	return r.Copies
+}
+
+func (r *RedundantDump) unit() int64 {
+	if r.Unit > 0 {
+		return r.Unit
+	}
+	return 256 << 10
+}
+
+func (r *RedundantDump) window() int {
+	if r.Window > 0 {
+		return r.Window
+	}
+	return 8
+}
+
+// objects is the per-rank object count the scheme needs.
+func (r *RedundantDump) objects() int {
+	switch r.Scheme {
+	case stripe.Replica:
+		return r.Width * r.copies()
+	case stripe.Parity:
+		return r.Width + 1
+	}
+	return r.Width
+}
+
+func (r *RedundantDump) validate() error {
+	if r.Width < 1 {
+		return fmt.Errorf("checkpoint: redundant dump needs width >= 1, have %d", r.Width)
+	}
+	if r.Scheme == stripe.Replica && r.copies() < 2 {
+		return fmt.Errorf("checkpoint: replica dump needs >= 2 copies, have %d", r.Copies)
+	}
+	return nil
+}
+
+// dumpRedundant is one rank's redundant CHECKPOINT body: create the scheme's
+// objects on distinct healthy servers (transactionally), write the state as
+// one full-stripe redundant write, and sync the survivors. Unlike the
+// single-object path, failures here never panic and never fail over to a
+// fresh dump: a timed-out server is marked failed and *tolerated* — the
+// redundancy absorbs it — and the commit tail decides whether every rank's
+// layout is still recoverable. A hard (non-timeout) error is returned for
+// the tail to abort on.
+func dumpRedundant(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, rank, placement int, cfg Config) dumpOut {
+	r := cfg.Redundant
+	var out dumpOut
+	t0 := p.Now()
+
+	// Placement: walk the server rotation from the rank's preferred slot,
+	// skipping servers already marked failed. The first pass insists on
+	// distinct servers (failure independence is the point); if the healthy
+	// pool is too small a second pass allows reuse — a degraded placement
+	// beats an aborted checkpoint, and the tail's recoverability check
+	// still guards the commit.
+	need := r.objects()
+	n := len(c.Servers())
+	used := make(map[storage.Target]bool)
+	objs := make([]storage.ObjRef, 0, need)
+	for pass := 0; pass < 2 && len(objs) < need; pass++ {
+		for i := 0; i < n && len(objs) < need; i++ {
+			tgt := c.Server(rank + placement + i)
+			if h.failed[core.TxnEndpointOf(tgt)] || (pass == 0 && used[tgt]) {
+				continue
+			}
+			ref, err := c.CreateObjectTxn(p, tgt, caps, h.tx)
+			if err != nil {
+				if !errors.Is(err, portals.ErrRPCTimeout) {
+					out.err = fmt.Errorf("checkpoint: rank %d create: %w", rank, err)
+					return out
+				}
+				h.markFailed(core.TxnEndpointOf(tgt))
+				continue
+			}
+			used[tgt] = true
+			objs = append(objs, ref)
+		}
+	}
+	if len(objs) < need {
+		out.err = fmt.Errorf("checkpoint: rank %d: %d of %d objects placed before the healthy pool ran out", rank, len(objs), need)
+		return out
+	}
+	out.t.Create = p.Now().Sub(t0)
+
+	l := stripe.Layout{Size: cfg.BytesPerProc, Unit: r.unit(), Scheme: r.Scheme, Copies: r.copies(), Objs: objs}
+	if err := l.Validate(); err != nil {
+		out.err = err
+		return out
+	}
+	out.l = l
+	out.ref = objs[0]
+
+	t1 := p.Now()
+	eng := stripe.NewEngine(c, caps, r.window())
+	_, lost, err := eng.WriteAtTolerant(p, l, 0, payloadFor(rank, cfg))
+	for _, lt := range lost {
+		h.markFailed(core.TxnEndpointOf(lt))
+	}
+	if err != nil {
+		out.err = fmt.Errorf("checkpoint: rank %d dump: %w", rank, err)
+		return out
+	}
+	out.t.Write = p.Now().Sub(t1)
+
+	// Sync whichever targets are still believed healthy, one by one so a
+	// server dying in the write-to-sync window is marked and tolerated
+	// rather than failing the whole barrier.
+	t2 := p.Now()
+	for _, tg := range l.Targets() {
+		if h.failed[core.TxnEndpointOf(tg)] {
+			continue
+		}
+		if err := c.Sync(p, tg, caps); err != nil {
+			if !errors.Is(err, portals.ErrRPCTimeout) {
+				out.err = fmt.Errorf("checkpoint: rank %d sync: %w", rank, err)
+				return out
+			}
+			h.markFailed(core.TxnEndpointOf(tg))
+		}
+	}
+	out.t.Sync = p.Now().Sub(t2)
+	out.t.Total = p.Now().Sub(t0)
+	return out
+}
+
+// redundantTail is the redundant-mode commit gate, run by rank 0 after the
+// gather: commit only if every rank dumped without a hard error and every
+// layout is still recoverable given all observed failures; otherwise roll
+// the whole checkpoint back. Either way the failed servers are delisted
+// from the transaction — they cannot vote, and in the commit case the
+// redundancy has just been shown to survive abandoning their copies. The
+// dead servers' stale objects must be treated as fenced: a restarted
+// server resolves its provisional creates by presumed abort, so the
+// layouts' missing columns are rebuilt (or re-dumped), never re-read.
+func redundantTail(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, layouts []stripe.Layout, dumpErrs []error, placement int, cfg Config, mdT *ProcTimes) (aborted bool) {
+	down := func(t storage.Target) bool { return h.failed[core.TxnEndpointOf(t)] }
+	var bad error
+	for rank := range layouts {
+		if dumpErrs[rank] != nil {
+			bad = dumpErrs[rank]
+			break
+		}
+		if !layouts[rank].Recoverable(down) {
+			bad = fmt.Errorf("checkpoint: rank %d layout unrecoverable after server failures", rank)
+			break
+		}
+	}
+	if bad != nil {
+		// Dead participants cannot acknowledge the rollback; drop them
+		// first so the abort reaches the survivors instead of hanging.
+		for _, ep := range h.failedOrder {
+			h.tx.Delist(ep)
+		}
+		if aerr := h.tx.Abort(p); aerr != nil {
+			panic(fmt.Sprintf("abort after %v: %v", bad, aerr))
+		}
+		return true
+	}
+	mdRef, err := writeObjectFailover(p, c, caps, h, placement,
+		netsim.BytesPayload(EncodeMetadataV2(layouts, cfg.BytesPerProc)), false, mdT)
+	if err != nil {
+		panic(fmt.Sprintf("md object: %v", err))
+	}
+	for _, ep := range h.failedOrder {
+		h.tx.Delist(ep)
+	}
+	if err := c.CreateName(p, "/ckpt-0001", mdRef, h.tx); err != nil {
+		panic(fmt.Sprintf("name: %v", err))
+	}
+	if err := h.tx.Commit(p); err != nil {
+		panic(fmt.Sprintf("commit: %v", err))
+	}
+	return false
+}

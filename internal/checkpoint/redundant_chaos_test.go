@@ -1,0 +1,161 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/checkpoint"
+	"lwfs/internal/cluster"
+	"lwfs/internal/sim"
+	"lwfs/internal/stripe"
+	"lwfs/internal/testrig"
+)
+
+// redundantChaosSpec: four single-server storage nodes, so one crash takes
+// out a whole placement target and every redundant layout loses exactly one
+// member.
+func redundantChaosSpec() cluster.Spec {
+	spec := cluster.DevCluster()
+	spec.ComputeNodes = 4
+	spec.ServersPerNode = 1
+	return spec.WithServers(4)
+}
+
+type redundantOutcome struct {
+	res      *checkpoint.Result
+	manifest checkpoint.Manifest
+	data     [][]byte // per-rank restored bytes (nil when the dump aborted)
+	restErr  error    // error from the restore pass
+	degraded float64  // stripe.*.degraded_reads across the cluster after the run
+}
+
+// runRedundantChaos dumps a 4-process checkpoint over 4 storage servers
+// under the given redundancy config, crashes server 1 at 8 ms — mid-dump —
+// and NEVER restarts it. The restore pass then has to read around the hole
+// (or observe a clean abort).
+func runRedundantChaos(t *testing.T, seed int64, rd *checkpoint.RedundantDump) redundantOutcome {
+	t.Helper()
+	cl := cluster.New(redundantChaosSpec())
+	cl.RegisterUser("app", "s3cret")
+	l := cl.DeployLWFS()
+	cfg := checkpoint.Config{
+		Procs:        4,
+		BytesPerProc: 2 * mb,
+		Seed:         seed,
+		Retry:        chaosRetry,
+		PatternData:  true,
+		Redundant:    rd,
+	}
+
+	out := redundantOutcome{}
+	victim := l.Servers[1]
+	testrig.RunChaos(cl.K,
+		testrig.ChaosEvent{At: 8 * time.Millisecond, Name: "crash", Do: func(p *sim.Proc) {
+			victim.Crash()
+		}},
+	)
+
+	res, err := checkpoint.SetupLWFS(cl, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.res = res
+
+	restoreRetry := chaosRetry
+	restoreRetry.Timeout = 100 * time.Millisecond
+	restarter := cl.NewClient(l, 0)
+	restarter.SetRetry(restoreRetry, seed+99)
+	gate := sim.NewMailbox(cl.K, "rchaos/gate")
+	cl.Spawn("gate", func(p *sim.Proc) {
+		for len(res.Per) < cfg.Procs {
+			p.Sleep(50 * time.Millisecond)
+		}
+		p.Sleep(100 * time.Millisecond)
+		gate.Send("go")
+	})
+	cl.Spawn("restore", func(p *sim.Proc) {
+		gate.Recv(p)
+		if err := restarter.Login(p, "app", "s3cret"); err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		caps, err := restarter.GetCaps(p, 1, authz.AllOps...)
+		if err != nil {
+			t.Errorf("caps: %v", err)
+			return
+		}
+		m, err := checkpoint.Restore(p, restarter, caps, "/ckpt-0001")
+		if err != nil {
+			out.restErr = err
+			return
+		}
+		out.manifest = m
+		out.data = make([][]byte, m.Ranks)
+		for rank := 0; rank < m.Ranks; rank++ {
+			payload, err := checkpoint.RestoreRead(p, restarter, caps, m, rank)
+			if err != nil {
+				out.restErr = err
+				return
+			}
+			out.data[rank] = payload.Data
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out.degraded = cl.Metrics().Snapshot().Sum("stripe.*.degraded_reads")
+	return out
+}
+
+// TestRedundantCheckpointRidesThroughCrash is the acceptance scenario for
+// redundant dumps: the same chaos schedule — one storage server crashes
+// mid-checkpoint and never comes back — aborts a RAID-0 dump detectably,
+// while replica and parity dumps commit Durable and restore every rank's
+// pattern bit-exactly through degraded reads. Honors LWFS_CHAOS_SEED for
+// the CI seed matrix.
+func TestRedundantCheckpointRidesThroughCrash(t *testing.T) {
+	seed := testrig.SeedFromEnv(13)
+
+	t.Run("raid0-aborts", func(t *testing.T) {
+		out := runRedundantChaos(t, seed, &checkpoint.RedundantDump{Scheme: stripe.Raid0, Width: 2})
+		if !out.res.Aborted {
+			t.Fatalf("raid0 dump committed through a server loss: %+v", out.res)
+		}
+		if out.restErr == nil {
+			t.Fatalf("restore of an aborted raid0 dump succeeded: %+v", out.manifest)
+		}
+		t.Logf("raid0 aborted as it must; restore failed with: %v", out.restErr)
+	})
+
+	for _, tc := range []struct {
+		name string
+		rd   *checkpoint.RedundantDump
+	}{
+		{"replica", &checkpoint.RedundantDump{Scheme: stripe.Replica, Width: 2, Copies: 2}},
+		{"parity", &checkpoint.RedundantDump{Scheme: stripe.Parity, Width: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runRedundantChaos(t, seed, tc.rd)
+			if out.res.Aborted {
+				t.Fatalf("%s dump aborted despite redundancy", tc.name)
+			}
+			if out.restErr != nil {
+				t.Fatalf("degraded restore: %v", out.restErr)
+			}
+			if out.res.Durable <= 0 {
+				t.Fatalf("dump never became durable: %+v", out.res)
+			}
+			for rank, got := range out.data {
+				want := checkpoint.PatternFor(rank, out.manifest.BytesPerProc)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("rank %d restored data differs from pattern", rank)
+				}
+			}
+			if out.degraded == 0 {
+				t.Fatalf("restore never took the degraded-read path — the crash missed the dump window")
+			}
+		})
+	}
+}

@@ -6,9 +6,10 @@
 //
 //   - The namespace is the LWFS naming service.
 //   - A file is a metadata object (superblock-style layout record) plus
-//     data objects striped RAID-0 over the storage servers; placement and
-//     transfer planning live in internal/stripe, plain library code any
-//     application could replace.
+//     data objects striped over the storage servers — RAID-0 by default,
+//     or a redundant scheme (N-way replicas, XOR parity) chosen at Format
+//     time; placement and transfer planning live in internal/stripe, plain
+//     library code any application could replace.
 //   - POSIX write atomicity comes from the LWFS lock service: writers take
 //     the file's exclusive lock, readers its shared lock. Applications
 //     that don't want that pay nothing for it — the checkpoint library
@@ -40,15 +41,26 @@ import (
 // error, re-exported for compatibility).
 var ErrBadLayout = stripe.ErrBadLayout
 
-// Options tune a file system instance. StripeUnit and Stripes persist in
-// the superblock; Serial and Window are per-mount runtime knobs.
+// Options tune a file system instance. StripeUnit, Stripes, Scheme and
+// Copies persist in the superblock; Serial and Window are per-mount runtime
+// knobs.
 type Options struct {
 	StripeUnit int64 // bytes per stripe chunk (default 1 MiB)
-	Stripes    int   // data objects per file (default: all servers)
+	Stripes    int   // data columns per file (default: as many as servers allow)
+
+	// Scheme selects the per-file redundancy layout: stripe.Raid0 (the
+	// default, no redundancy), stripe.Replica (Copies mirrors of every
+	// column), or stripe.Parity (one XOR parity object per file). Files
+	// under a redundant scheme survive a storage-server crash: reads
+	// reconstruct transparently and FS.Rebuild re-homes the lost objects.
+	Scheme stripe.Scheme
+	// Copies is the replica count for stripe.Replica (default 2).
+	Copies int
 
 	// Serial selects the legacy one-RPC-per-stripe-unit transfer path
 	// instead of the coalesced parallel engine — the baseline arm of the
-	// E17 comparison. Not persisted.
+	// E17 comparison. Redundant layouts always use the engine (the serial
+	// path knows nothing about mirrors or parity). Not persisted.
 	Serial bool
 	// Window bounds the engine's in-flight requests per call
 	// (default stripe.DefaultWindow). Not persisted.
@@ -59,10 +71,36 @@ func (o Options) withDefaults(servers int) Options {
 	if o.StripeUnit == 0 {
 		o.StripeUnit = 1 << 20
 	}
-	if o.Stripes == 0 || o.Stripes > servers {
-		o.Stripes = servers
+	if o.Scheme == stripe.Replica && o.Copies < 2 {
+		o.Copies = 2
+	}
+	// Default width leaves room for the redundancy so each object of a
+	// file lands on its own server when the cluster is big enough.
+	width := servers
+	switch o.Scheme {
+	case stripe.Replica:
+		width = servers / o.Copies
+	case stripe.Parity:
+		width = servers - 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	if o.Stripes == 0 || o.Stripes > width {
+		o.Stripes = width
 	}
 	return o
+}
+
+// objectsPerFile is how many objects a Create allocates under the options.
+func (o Options) objectsPerFile() int {
+	switch o.Scheme {
+	case stripe.Replica:
+		return o.Stripes * o.Copies
+	case stripe.Parity:
+		return o.Stripes + 1
+	}
+	return o.Stripes
 }
 
 // FS is a mounted file system: a container, its capabilities, and a root
@@ -102,6 +140,14 @@ func Format(p *sim.Proc, c *core.Client, rootDir string, opts Options) (*FS, err
 	}
 	content := fmt.Sprintf("lwfspfs v1\ncontainer %d\nstripeunit %d\nstripes %d\n",
 		cid, opts.StripeUnit, opts.Stripes)
+	// Redundant schemes append one line the legacy parser never wrote, so
+	// RAID-0 superblocks stay byte-identical to the v1 format.
+	switch opts.Scheme {
+	case stripe.Replica:
+		content += fmt.Sprintf("scheme replica %d\n", opts.Copies)
+	case stripe.Parity:
+		content += "scheme parity\n"
+	}
 	if _, err := c.Write(p, sb, caps, 0, netsim.BytesPayload([]byte(content))); err != nil {
 		return nil, err
 	}
@@ -159,7 +205,24 @@ func parseSuperblock(data []byte) (Options, bool) {
 	var cid uint64
 	n, err := fmt.Sscanf(string(data), "lwfspfs v1\ncontainer %d\nstripeunit %d\nstripes %d\n",
 		&cid, &opts.StripeUnit, &opts.Stripes)
-	return opts, err == nil && n == 3
+	if err != nil || n != 3 {
+		return opts, false
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	for _, line := range lines[4:] {
+		switch {
+		case strings.HasPrefix(line, "scheme replica "):
+			opts.Scheme = stripe.Replica
+			if _, err := fmt.Sscanf(line, "scheme replica %d", &opts.Copies); err != nil {
+				return opts, false
+			}
+		case line == "scheme parity":
+			opts.Scheme = stripe.Parity
+		default:
+			return opts, false
+		}
+	}
+	return opts, true
 }
 
 // Container returns the file system's container ID (hand it to mounters).
@@ -220,12 +283,17 @@ type File struct {
 // path-derived starting server (a simple distribution policy; applications
 // can mount with Stripes=1 and do their own), a metadata object, and a
 // naming entry — all inside one distributed transaction, so a crashed
-// create leaves no debris.
+// create leaves no debris. Redundant schemes allocate their extra objects
+// on the following servers, so copy c of column i (and the parity object)
+// each get their own server when the cluster is big enough.
 func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 	tx := fs.c.BeginTxn()
-	l := stripe.Layout{Unit: fs.opts.StripeUnit}
+	l := stripe.Layout{Unit: fs.opts.StripeUnit, Scheme: fs.opts.Scheme}
+	if fs.opts.Scheme == stripe.Replica {
+		l.Copies = fs.opts.Copies
+	}
 	base := pathHash(path)
-	for i := 0; i < fs.opts.Stripes; i++ {
+	for i := 0; i < fs.opts.objectsPerFile(); i++ {
 		ref, err := fs.c.CreateObjectTxn(p, fs.c.Server(base+i), fs.caps, tx)
 		if err != nil {
 			tx.Abort(p) //nolint:errcheck
@@ -286,6 +354,35 @@ func (fs *FS) Remove(p *sim.Proc, path string) error {
 	return fs.c.Remove(p, f.mdRef, fs.caps)
 }
 
+// Rebuild reconstructs path's objects hosted on the dead server onto
+// spares (nil means every server), patching and persisting the file's
+// layout. The whole repair runs under the file's exclusive lock — the
+// rebuild fencing rule: no reader or writer ever observes a half-rebuilt
+// layout, and by the time the lock drops the dead server's stale objects
+// are unreferenced, so its eventual restart cannot resurrect old bytes.
+// The caller's client should be armed with a retry policy (core.SetRetry)
+// so the dead server's silence reads as a timeout, not a hang.
+func (fs *FS) Rebuild(p *sim.Proc, path string, dead storage.Target, spares []storage.Target) error {
+	locks := fs.c.Locks()
+	if err := locks.Lock(p, fs.lockName(path), txn.Exclusive); err != nil {
+		return err
+	}
+	defer locks.Unlock(p, fs.lockName(path)) //nolint:errcheck
+	f, err := fs.Open(p, path)
+	if err != nil {
+		return err
+	}
+	if spares == nil {
+		spares = fs.c.Servers()
+	}
+	nl, err := stripe.NewRebuilder(fs.eng).Rebuild(p, f.l, dead, spares)
+	if err != nil {
+		return err
+	}
+	f.l = nl
+	return f.flushMeta(p)
+}
+
 // Size returns the file's current size (as of open or last local write).
 func (f *File) Size() int64 { return f.l.Size }
 
@@ -306,7 +403,7 @@ func (f *File) WriteAt(p *sim.Proc, off int64, payload netsim.Payload) (int64, e
 	defer locks.Unlock(p, f.fs.lockName(f.path)) //nolint:errcheck
 	var n int64
 	var err error
-	if f.fs.opts.Serial {
+	if f.fs.opts.Serial && f.l.Scheme == stripe.Raid0 {
 		n, err = f.writeSerial(p, off, payload)
 	} else {
 		n, err = f.fs.eng.WriteAt(p, f.l, off, payload)
@@ -367,7 +464,7 @@ func (f *File) ReadAt(p *sim.Proc, off, length int64) (netsim.Payload, error) {
 	if off+length > f.l.Size {
 		length = f.l.Size - off
 	}
-	if f.fs.opts.Serial {
+	if f.fs.opts.Serial && f.l.Scheme == stripe.Raid0 {
 		return f.readSerial(p, off, length)
 	}
 	return f.fs.eng.ReadAt(p, f.l, off, length)

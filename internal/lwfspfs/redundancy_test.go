@@ -1,0 +1,141 @@
+package lwfspfs_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lwfs/internal/lwfspfs"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
+)
+
+// pfsRetry arms clients in crash tests so dead servers time out.
+var pfsRetry = portals.RetryPolicy{
+	MaxAttempts: 2,
+	Timeout:     25 * time.Millisecond,
+	Backoff:     time.Millisecond,
+	Jitter:      100 * time.Microsecond,
+}
+
+// A redundant file system survives a storage-server crash end to end:
+// reads degrade transparently, Rebuild re-homes the lost objects, and the
+// repaired file reads clean — for both replica and parity schemes.
+func TestRedundantFileSurvivesServerCrash(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts lwfspfs.Options
+	}{
+		{"replica", lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Replica, Copies: 2}},
+		{"parity", lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Parity}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cl, l := smallCluster()
+			c := cl.NewClient(l, 0)
+			c.SetRetry(pfsRetry, 31)
+			cl.Spawn("app", func(p *sim.Proc) {
+				if err := c.Login(p, "alice", "pa"); err != nil {
+					t.Fatalf("login: %v", err)
+				}
+				fs, err := lwfspfs.Format(p, c, "/vol0", tc.opts)
+				if err != nil {
+					t.Fatalf("format: %v", err)
+				}
+				f, err := fs.Create(p, "/data.bin")
+				if err != nil {
+					t.Fatalf("create: %v", err)
+				}
+				data := make([]byte, 500_000)
+				rand.New(rand.NewSource(9)).Read(data)
+				if _, err := f.WriteAt(p, 0, payloadOf(data)); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+				if err := f.Close(p); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+
+				// Kill the server holding the file's second data object.
+				// (Column 0's server also hosts the metadata object, which
+				// is not redundant — lwfspfs's remaining single point of
+				// failure, see DESIGN §4.9.)
+				dead := storage.TargetOf(f.Layout().Objs[1])
+				for _, srv := range l.Servers {
+					if (storage.Target{Node: srv.Node(), Port: srv.RPCPort()}) == dead {
+						srv.Crash()
+					}
+				}
+
+				// Degraded read through a fresh open.
+				g, err := fs.Open(p, "/data.bin")
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				got, err := g.ReadAt(p, 0, int64(len(data)))
+				if err != nil || !bytes.Equal(got.Data, data) {
+					t.Fatalf("degraded read mismatch: %v", err)
+				}
+
+				// Online rebuild, then verify the patched layout avoids the
+				// dead server and reads clean.
+				if err := fs.Rebuild(p, "/data.bin", dead, nil); err != nil {
+					t.Fatalf("rebuild: %v", err)
+				}
+				g, err = fs.Open(p, "/data.bin")
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				for i, o := range g.Layout().Objs {
+					if storage.TargetOf(o) == dead {
+						t.Fatalf("rebuilt layout still references dead server at %d", i)
+					}
+				}
+				got, err = g.ReadAt(p, 0, int64(len(data)))
+				if err != nil || !bytes.Equal(got.Data, data) {
+					t.Fatalf("post-rebuild read mismatch: %v", err)
+				}
+				snap := cl.Metrics().Snapshot()
+				if snap.Sum("rebuild.*.objects_done") == 0 {
+					t.Error("rebuild instruments did not move")
+				}
+			})
+			run(t, cl)
+		})
+	}
+}
+
+// The superblock round-trips the redundancy options, and a RAID-0 format
+// still writes the byte-identical legacy superblock (no scheme line).
+func TestSuperblockPersistsScheme(t *testing.T) {
+	cl, l := smallCluster()
+	c := cl.NewClient(l, 0)
+	c2 := cl.NewClient(l, 1)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		if err := c2.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login2: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol1",
+			lwfspfs.Options{StripeUnit: 32 << 10, Stripes: 2, Scheme: stripe.Replica, Copies: 2})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		fs2, err := lwfspfs.Mount(p, c2, "/vol1", fs.Container())
+		if err != nil {
+			t.Fatalf("mount: %v", err)
+		}
+		f, err := fs2.Create(p, "/x")
+		if err != nil {
+			t.Fatalf("create on remount: %v", err)
+		}
+		lay := f.Layout()
+		if lay.Scheme != stripe.Replica || lay.Copies != 2 || len(lay.Objs) != 4 {
+			t.Fatalf("remounted scheme lost: %+v", lay)
+		}
+	})
+	run(t, cl)
+}

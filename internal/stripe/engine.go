@@ -7,9 +7,14 @@ import (
 	"lwfs/internal/core"
 	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
+	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 )
+
+// ErrUnrecoverable reports a degraded operation the layout's redundancy
+// could not absorb: more objects unreachable than the scheme tolerates.
+var ErrUnrecoverable = errors.New("stripe: too many objects unreachable to reconstruct")
 
 // DefaultWindow bounds how many per-object requests an engine keeps in
 // flight at once. Eight covers the dev cluster's 16 servers in two waves
@@ -32,6 +37,11 @@ type Engine struct {
 	bytesOut   *metrics.Counter
 	bytesIn    *metrics.Counter
 	syncRounds *metrics.Counter
+
+	// Degraded-path instruments: requests served via redundancy after the
+	// primary object timed out, and the bytes so reconstructed.
+	degradedReads *metrics.Counter
+	reconBytes    *metrics.Counter
 }
 
 // NewEngine wraps a logged-in core client and the capability set its
@@ -44,10 +54,12 @@ func NewEngine(c *core.Client, caps core.CapSet, window int) *Engine {
 	sc := c.Endpoint().Metrics().Scope("stripe").Scope(c.Endpoint().NodeName())
 	return &Engine{
 		c: c, caps: caps, window: window,
-		reqs:       sc.Counter("requests"),
-		bytesOut:   sc.Counter("bytes_written"),
-		bytesIn:    sc.Counter("bytes_read"),
-		syncRounds: sc.Counter("sync_rounds"),
+		reqs:          sc.Counter("requests"),
+		bytesOut:      sc.Counter("bytes_written"),
+		bytesIn:       sc.Counter("bytes_read"),
+		syncRounds:    sc.Counter("sync_rounds"),
+		degradedReads: sc.Counter("degraded_reads"),
+		reconBytes:    sc.Counter("reconstructed_bytes"),
 	}
 }
 
@@ -58,12 +70,31 @@ func (e *Engine) SetCaps(caps core.CapSet) { e.caps = caps }
 func (e *Engine) Window() int { return e.window }
 
 // WriteAt writes payload at file offset off under the layout: the range is
-// planned into one request per object, and the per-server writes proceed
-// concurrently. It returns the total bytes written; on failure the error
+// planned into one request per data column, expanded per the redundancy
+// scheme (replica copies, parity update), and the per-server writes proceed
+// concurrently. It returns the data bytes written; on failure the error
 // carries every failed request, and the count covers only acknowledged
 // writes (partially-landed parallel writes are the caller's layout/locking
 // concern, exactly as with serial per-unit writes).
 func (e *Engine) WriteAt(p *sim.Proc, l Layout, off int64, payload netsim.Payload) (int64, error) {
+	n, _, err := e.WriteAtTolerant(p, l, off, payload)
+	return n, err
+}
+
+// WriteAtTolerant writes like WriteAt but exploits the layout's redundancy:
+// writes (and parity read-modify-write reads) that time out against a dead
+// server are absorbed as long as the layout stays recoverable, and the
+// distinct targets so absorbed come back for the caller to fence — skip in
+// sync rounds, delist from transactions, schedule for rebuild. An absorbed
+// object is STALE: it must be rebuilt before it is trusted again. Under
+// RAID-0 no failure is tolerable and this is exactly WriteAt.
+func (e *Engine) WriteAtTolerant(p *sim.Proc, l Layout, off int64, payload netsim.Payload) (int64, []storage.Target, error) {
+	switch l.Scheme {
+	case Replica:
+		return e.writeReplica(p, l, off, payload)
+	case Parity:
+		return e.writeParity(p, l, off, payload)
+	}
 	reqs := l.Plan(off, payload.Size)
 	e.reqs.Add(int64(len(reqs)))
 	written := make([]int64, len(reqs))
@@ -77,26 +108,314 @@ func (e *Engine) WriteAt(p *sim.Proc, l Layout, off int64, payload netsim.Payloa
 		total += n
 	}
 	e.bytesOut.Add(total)
-	return total, err
+	return total, nil, err
+}
+
+// writeReplica fans each column request out to all Copies mirrors. A column
+// extent counts as written once at least one copy acknowledged it; copies
+// that timed out are tolerated and reported, any other failure is hard.
+func (e *Engine) writeReplica(p *sim.Proc, l Layout, off int64, payload netsim.Payload) (int64, []storage.Target, error) {
+	reqs := l.Plan(off, payload.Size)
+	r := l.Copies
+	n := len(reqs) * r
+	e.reqs.Add(int64(n))
+	pls := make([]netsim.Payload, len(reqs))
+	for i, rq := range reqs {
+		pls[i] = rq.Gather(off, payload)
+	}
+	written := make([]int64, n)
+	errs := fanOutErrs(p, "stripe/write", n, e.window, func(wp *sim.Proc, k int) error {
+		i, c := k/r, k%r
+		m, werr := e.c.Write(wp, l.ReplicaObj(c, reqs[i].Obj), e.caps, reqs[i].Off, pls[i])
+		written[k] = m
+		return werr
+	})
+	var moved int64
+	for _, m := range written {
+		moved += m
+	}
+	e.bytesOut.Add(moved)
+	failed := newTargetSet()
+	var hard []error
+	var total int64
+	for i := range reqs {
+		live := 0
+		for c := 0; c < r; c++ {
+			switch err := errs[i*r+c]; {
+			case err == nil:
+				live++
+			case errors.Is(err, portals.ErrRPCTimeout):
+				failed.add(storage.TargetOf(l.ReplicaObj(c, reqs[i].Obj)))
+			default:
+				hard = append(hard, fmt.Errorf("stripe/write[col %d copy %d]: %w", reqs[i].Obj, c, err))
+			}
+		}
+		if live == 0 {
+			hard = append(hard, fmt.Errorf("stripe/write[col %d]: %w", reqs[i].Obj, ErrUnrecoverable))
+		} else {
+			total += reqs[i].Len
+		}
+	}
+	return total, failed.list, errors.Join(hard...)
+}
+
+// writeParity writes the column extents plus an updated parity extent. A
+// write covering every column over the same extent (a full-stripe write)
+// computes parity from the new data alone; anything narrower pays the
+// read-modify-write: read the old parity window and each written column's
+// old extent, then parity' = parity ^ old ^ new. Single-object loss at any
+// point — a dead column (its old extent reconstructs from the survivors and
+// its new content lives on implicitly in the parity delta) or a dead parity
+// server (data lands plain, parity goes stale) — degrades the layout but
+// completes; a second loss is unrecoverable.
+func (e *Engine) writeParity(p *sim.Proc, l Layout, off int64, payload netsim.Payload) (int64, []storage.Target, error) {
+	reqs := l.Plan(off, payload.Size)
+	if len(reqs) == 0 {
+		return 0, nil, nil
+	}
+	w := l.Width()
+	// The parity window is the union of the column extents: for a
+	// contiguous file range every column extent falls inside it.
+	pOff, pEnd := reqs[0].Off, reqs[0].Off+reqs[0].Len
+	for _, rq := range reqs[1:] {
+		if rq.Off < pOff {
+			pOff = rq.Off
+		}
+		if end := rq.Off + rq.Len; end > pEnd {
+			pEnd = end
+		}
+	}
+	pLen := pEnd - pOff
+	full := len(reqs) == w
+	for _, rq := range reqs {
+		if rq.Off != pOff || rq.Len != pLen {
+			full = false
+		}
+	}
+
+	news := make([]netsim.Payload, len(reqs))
+	for i, rq := range reqs {
+		news[i] = rq.Gather(off, payload)
+	}
+	var parity []byte
+	if payload.Data != nil {
+		parity = make([]byte, pLen)
+	}
+	failed := newTargetSet()
+	lost := map[int]bool{} // object index (w = parity) confirmed unreachable
+
+	if full {
+		if parity != nil {
+			for i := range reqs {
+				xorInto(parity, news[i].Data)
+			}
+		}
+	} else {
+		olds := make([]netsim.Payload, len(reqs)+1)
+		rerrs := fanOutErrs(p, "stripe/rmw-read", len(reqs)+1, e.window, func(wp *sim.Proc, i int) error {
+			ref, o, n := l.ParityObj(), pOff, pLen
+			if i < len(reqs) {
+				ref, o, n = l.Objs[reqs[i].Obj], reqs[i].Off, reqs[i].Len
+			}
+			pl, rerr := e.c.Read(wp, ref, e.caps, o, n)
+			olds[i] = pl
+			return rerr
+		})
+		e.reqs.Add(int64(len(reqs) + 1))
+		for i, rerr := range rerrs {
+			if rerr == nil {
+				continue
+			}
+			if !errors.Is(rerr, portals.ErrRPCTimeout) {
+				return 0, failed.list, fmt.Errorf("stripe/rmw-read: %w", rerr)
+			}
+			if i == len(reqs) {
+				lost[w] = true
+				failed.add(storage.TargetOf(l.ParityObj()))
+				continue
+			}
+			col := reqs[i].Obj
+			lost[col] = true
+			failed.add(storage.TargetOf(l.Objs[col]))
+			if len(lost) == 1 && parity != nil {
+				old, derr := e.reconstructExtent(p, l, col, reqs[i].Off, reqs[i].Len, lost)
+				if derr != nil {
+					return 0, failed.list, derr
+				}
+				olds[i] = old
+			}
+		}
+		if len(lost) > 1 {
+			return 0, failed.list, fmt.Errorf("stripe/write: %w", ErrUnrecoverable)
+		}
+		if parity != nil && !lost[w] {
+			xorInto(parity, olds[len(reqs)].Data)
+			for i, rq := range reqs {
+				xorInto(parity[rq.Off-pOff:], olds[i].Data)
+				xorInto(parity[rq.Off-pOff:], news[i].Data)
+			}
+		}
+	}
+
+	type wr struct {
+		ref storage.ObjRef
+		off int64
+		pl  netsim.Payload
+		obj int
+	}
+	var writes []wr
+	for i, rq := range reqs {
+		if lost[rq.Obj] {
+			continue
+		}
+		writes = append(writes, wr{l.Objs[rq.Obj], rq.Off, news[i], rq.Obj})
+	}
+	if !lost[w] {
+		ppl := netsim.SyntheticPayload(pLen)
+		if parity != nil {
+			ppl = netsim.BytesPayload(parity)
+		}
+		writes = append(writes, wr{l.ParityObj(), pOff, ppl, w})
+	}
+	e.reqs.Add(int64(len(writes)))
+	written := make([]int64, len(writes))
+	werrs := fanOutErrs(p, "stripe/write", len(writes), e.window, func(wp *sim.Proc, i int) error {
+		n, werr := e.c.Write(wp, writes[i].ref, e.caps, writes[i].off, writes[i].pl)
+		written[i] = n
+		return werr
+	})
+	var moved int64
+	for _, n := range written {
+		moved += n
+	}
+	e.bytesOut.Add(moved)
+	for i, werr := range werrs {
+		if werr == nil {
+			continue
+		}
+		if !errors.Is(werr, portals.ErrRPCTimeout) {
+			return 0, failed.list, fmt.Errorf("stripe/write[obj %d]: %w", writes[i].obj, werr)
+		}
+		lost[writes[i].obj] = true
+		failed.add(storage.TargetOf(writes[i].ref))
+	}
+	if len(lost) > 1 {
+		return 0, failed.list, fmt.Errorf("stripe/write: %w", ErrUnrecoverable)
+	}
+	return payload.Size, failed.list, nil
+}
+
+// reconstructExtent rebuilds object idx's extent [objOff, objOff+n) of a
+// Parity layout by XOR-ing the same extent of every other group member
+// (idx == Width() reconstructs the parity object itself from the data
+// columns). Short reads zero-fill — bytes beyond a source's end contribute
+// nothing. Every survivor must answer; a second unreachable object makes
+// the extent unrecoverable.
+func (e *Engine) reconstructExtent(p *sim.Proc, l Layout, idx int, objOff, n int64, skip map[int]bool) (netsim.Payload, error) {
+	w := l.Width()
+	var srcs []storage.ObjRef
+	for j := 0; j <= w; j++ {
+		if j == idx || skip[j] {
+			continue
+		}
+		srcs = append(srcs, l.Objs[j])
+	}
+	if len(srcs) < w {
+		return netsim.Payload{}, fmt.Errorf("stripe/reconstruct[%d]: %w", idx, ErrUnrecoverable)
+	}
+	got := make([]netsim.Payload, len(srcs))
+	err := FanOut(p, "stripe/reconstruct", len(srcs), e.window, func(wp *sim.Proc, i int) error {
+		pl, rerr := e.c.Read(wp, srcs[i], e.caps, objOff, n)
+		got[i] = pl
+		return rerr
+	})
+	e.reqs.Add(int64(len(srcs)))
+	if err != nil {
+		return netsim.Payload{}, fmt.Errorf("stripe/reconstruct[%d]: %w: %v", idx, ErrUnrecoverable, err)
+	}
+	out := netsim.Payload{Size: n}
+	for _, g := range got {
+		if g.Data == nil {
+			continue
+		}
+		if out.Data == nil {
+			out.Data = make([]byte, n)
+		}
+		xorInto(out.Data, g.Data)
+	}
+	return out, nil
+}
+
+// xorInto XORs src into dst over their common prefix.
+func xorInto(dst, src []byte) {
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// targetSet collects distinct targets in first-seen order.
+type targetSet struct {
+	seen map[storage.Target]bool
+	list []storage.Target
+}
+
+func newTargetSet() *targetSet { return &targetSet{seen: map[storage.Target]bool{}} }
+
+func (s *targetSet) add(t storage.Target) {
+	if !s.seen[t] {
+		s.seen[t] = true
+		s.list = append(s.list, t)
+	}
 }
 
 // ReadAt reads [off, off+length) under the layout with the same plan/fan-out
 // as WriteAt, scattering each object's extent back into file order. Callers
 // clamp length to the logical size first (the layout does not know EOF);
 // reads past the end of short objects return the bytes present.
+//
+// Under a redundant scheme the read is degraded-tolerant: a column whose
+// primary object times out is served from a surviving replica copy, or
+// XOR-reconstructed from the other columns and parity, transparently to the
+// caller (counted by the degraded_reads / reconstructed_bytes instruments).
+// RAID-0 reads fail exactly as before.
 func (e *Engine) ReadAt(p *sim.Proc, l Layout, off, length int64) (netsim.Payload, error) {
 	reqs := l.Plan(off, length)
 	e.reqs.Add(int64(len(reqs)))
 	e.bytesIn.Add(length)
 	out := netsim.Payload{Size: length}
 	got := make([]netsim.Payload, len(reqs))
-	err := FanOut(p, "stripe/read", len(reqs), e.window, func(wp *sim.Proc, i int) error {
+	errs := fanOutErrs(p, "stripe/read", len(reqs), e.window, func(wp *sim.Proc, i int) error {
 		pl, rerr := e.c.Read(wp, l.Objs[reqs[i].Obj], e.caps, reqs[i].Off, reqs[i].Len)
 		got[i] = pl
 		return rerr
 	})
-	if err != nil {
-		return out, err
+	if err := joinIndexed("stripe/read", errs); err != nil {
+		if l.Scheme == Raid0 {
+			return out, err
+		}
+		var down []int
+		for i, rerr := range errs {
+			if rerr == nil {
+				continue
+			}
+			if !errors.Is(rerr, portals.ErrRPCTimeout) {
+				return out, err
+			}
+			down = append(down, i)
+		}
+		derr := FanOut(p, "stripe/degraded", len(down), e.window, func(wp *sim.Proc, k int) error {
+			i := down[k]
+			pl, rerr := e.readDegraded(wp, l, reqs[i])
+			got[i] = pl
+			return rerr
+		})
+		if derr != nil {
+			return out, derr
+		}
 	}
 	var buf []byte
 	for i, req := range reqs {
@@ -110,6 +429,34 @@ func (e *Engine) ReadAt(p *sim.Proc, l Layout, off, length int64) (netsim.Payloa
 	}
 	out.Data = buf
 	return out, nil
+}
+
+// readDegraded serves one planned request after its primary object timed
+// out: replica layouts fall back through the surviving copies in order,
+// parity layouts XOR-reconstruct the extent from the other columns and the
+// parity object.
+func (e *Engine) readDegraded(p *sim.Proc, l Layout, r Request) (netsim.Payload, error) {
+	e.degradedReads.Inc()
+	if l.Scheme == Replica {
+		for c := 1; c < l.Copies; c++ {
+			pl, rerr := e.c.Read(p, l.ReplicaObj(c, r.Obj), e.caps, r.Off, r.Len)
+			e.reqs.Inc()
+			if rerr == nil {
+				e.reconBytes.Add(r.Len)
+				return pl, nil
+			}
+			if !errors.Is(rerr, portals.ErrRPCTimeout) {
+				return netsim.Payload{}, rerr
+			}
+		}
+		return netsim.Payload{}, fmt.Errorf("stripe/degraded[col %d]: %w", r.Obj, ErrUnrecoverable)
+	}
+	pl, rerr := e.reconstructExtent(p, l, r.Obj, r.Off, r.Len, nil)
+	if rerr != nil {
+		return netsim.Payload{}, rerr
+	}
+	e.reconBytes.Add(r.Len)
+	return pl, nil
 }
 
 // Targets returns the distinct storage servers holding the layout, in
@@ -142,6 +489,12 @@ func (e *Engine) SyncTargets(p *sim.Proc, targets []storage.Target) error {
 // joined, each tagged with its index. window <= 1 (or n == 1) degenerates to
 // an inline serial loop on the caller's process.
 func FanOut(p *sim.Proc, name string, n, window int, fn func(wp *sim.Proc, i int) error) error {
+	return joinIndexed(name, fanOutErrs(p, name, n, window, fn))
+}
+
+// fanOutErrs is FanOut returning the raw per-index errors, for callers that
+// classify failures individually (degraded reads, redundant writes).
+func fanOutErrs(p *sim.Proc, name string, n, window int, fn func(wp *sim.Proc, i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
@@ -153,7 +506,7 @@ func FanOut(p *sim.Proc, name string, n, window int, fn func(wp *sim.Proc, i int
 		for i := 0; i < n; i++ {
 			errs[i] = fn(p, i)
 		}
-		return joinIndexed(name, errs)
+		return errs
 	}
 	var wg sim.WaitGroup
 	wg.Add(n)
@@ -169,7 +522,7 @@ func FanOut(p *sim.Proc, name string, n, window int, fn func(wp *sim.Proc, i int
 		})
 	}
 	wg.Wait(p)
-	return joinIndexed(name, errs)
+	return errs
 }
 
 // joinIndexed folds per-request errors into one, tagging each with its

@@ -21,6 +21,12 @@
 //     simulated processes, bounded by an in-flight window, so a transfer
 //     spanning M servers pays roughly one round trip instead of M — see
 //     Engine in engine.go.
+//
+//   - Redundancy: a Layout optionally carries a Scheme — N-way Replica
+//     mirrors or a RAID-4-style XOR Parity column — and the engine fans
+//     writes out redundantly, serves degraded reads that reconstruct lost
+//     extents from the survivors, and rebuilds a dead server's objects onto
+//     spares online (rebuild.go).
 package stripe
 
 import (
@@ -37,26 +43,122 @@ import (
 // ErrBadLayout reports corrupt or truncated layout metadata.
 var ErrBadLayout = errors.New("stripe: corrupt layout metadata")
 
-// Layout describes one striped logical object: RAID-0 over Objs in units of
-// Unit bytes, with a logical Size maintained by the owner.
-type Layout struct {
-	Size int64
-	Unit int64
-	Objs []storage.ObjRef
+// Scheme selects the redundancy family a layout carries. The zero value is
+// plain RAID-0, so layouts decoded from the legacy wire format — and every
+// Layout literal written before schemes existed — behave unchanged.
+type Scheme uint8
+
+const (
+	// Raid0 stripes with no redundancy: one object per data column.
+	Raid0 Scheme = iota
+	// Replica keeps Copies full mirrors of every data column: Objs holds
+	// Copies×Width objects, copy c of column i at Objs[c*Width+i]. Copy 0
+	// is the primary the engine reads first.
+	Replica
+	// Parity is RAID-4-style: Width data columns plus one XOR parity
+	// object at Objs[Width]. Byte x of the parity object is the XOR of
+	// byte x of every data column, so any single lost object — data or
+	// parity — reconstructs from the survivors.
+	Parity
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Raid0:
+		return "raid0"
+	case Replica:
+		return "replica"
+	case Parity:
+		return "parity"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
 }
 
-// Encode renders the layout in its persistent wire format (the format
-// lwfspfs has always written, so existing file systems decode unchanged).
+// Layout describes one striped logical object: Scheme over Objs in units of
+// Unit bytes, with a logical Size maintained by the owner. Copies is the
+// mirror count for Replica layouts and ignored otherwise.
+type Layout struct {
+	Size   int64
+	Unit   int64
+	Scheme Scheme
+	Copies int
+	Objs   []storage.ObjRef
+}
+
+// Width returns the number of data columns: the RAID-0 stride of the file's
+// bytes, excluding replica copies and the parity object.
+func (l Layout) Width() int {
+	switch l.Scheme {
+	case Replica:
+		if l.Copies > 1 {
+			return len(l.Objs) / l.Copies
+		}
+		return len(l.Objs)
+	case Parity:
+		return len(l.Objs) - 1
+	default:
+		return len(l.Objs)
+	}
+}
+
+// ReplicaObj returns copy c of data column col (copy 0 is the primary; for
+// non-replica layouts only c == 0 is meaningful).
+func (l Layout) ReplicaObj(c, col int) storage.ObjRef { return l.Objs[c*l.Width()+col] }
+
+// ParityObj returns the parity object of a Parity layout.
+func (l Layout) ParityObj() storage.ObjRef { return l.Objs[l.Width()] }
+
+// Validate checks the layout's arithmetic invariants — the ones Locate and
+// Plan divide by. Decode runs it on every parsed layout so corrupt metadata
+// surfaces as ErrBadLayout instead of a divide-by-zero panic later.
+func (l Layout) Validate() error {
+	switch {
+	case l.Unit <= 0:
+		return fmt.Errorf("%w: stripe unit %d", ErrBadLayout, l.Unit)
+	case l.Size < 0:
+		return fmt.Errorf("%w: size %d", ErrBadLayout, l.Size)
+	case len(l.Objs) == 0:
+		return fmt.Errorf("%w: no objects", ErrBadLayout)
+	}
+	switch l.Scheme {
+	case Raid0:
+	case Replica:
+		if l.Copies < 2 || len(l.Objs)%l.Copies != 0 {
+			return fmt.Errorf("%w: %d objects for %d replica copies", ErrBadLayout, len(l.Objs), l.Copies)
+		}
+	case Parity:
+		if len(l.Objs) < 2 {
+			return fmt.Errorf("%w: parity layout needs a data column and a parity object", ErrBadLayout)
+		}
+	default:
+		return fmt.Errorf("%w: unknown scheme %d", ErrBadLayout, l.Scheme)
+	}
+	return nil
+}
+
+// Encode renders the layout in its persistent wire format. RAID-0 layouts
+// emit exactly the format lwfspfs has always written, so existing file
+// systems decode unchanged; redundant schemes insert one extra "scheme"
+// line that legacy-era data never contains.
 func (l Layout) Encode() []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "size %d\nstripeunit %d\n", l.Size, l.Unit)
+	switch l.Scheme {
+	case Replica:
+		fmt.Fprintf(&b, "scheme replica %d\n", l.Copies)
+	case Parity:
+		fmt.Fprintf(&b, "scheme parity\n")
+	}
 	for _, o := range l.Objs {
 		fmt.Fprintf(&b, "obj %d %d %d\n", o.Node, o.Port, uint64(o.ID))
 	}
 	return []byte(b.String())
 }
 
-// Decode parses a layout previously produced by Encode.
+// Decode parses a layout previously produced by Encode. Metadata without a
+// "scheme" line decodes as plain RAID-0 (the legacy format). The parsed
+// layout is validated: truncated or nonsensical metadata (zero stripe unit,
+// no objects, bad replica arity) returns ErrBadLayout.
 func Decode(data []byte) (Layout, error) {
 	var l Layout
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
@@ -69,11 +171,26 @@ func Decode(data []byte) (Layout, error) {
 	if _, err := fmt.Sscanf(lines[1], "stripeunit %d", &l.Unit); err != nil {
 		return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
 	}
-	for _, line := range lines[2:] {
+	rest := lines[2:]
+	if len(rest) > 0 && strings.HasPrefix(rest[0], "scheme ") {
+		switch {
+		case strings.HasPrefix(rest[0], "scheme replica "):
+			l.Scheme = Replica
+			if _, err := fmt.Sscanf(rest[0], "scheme replica %d", &l.Copies); err != nil {
+				return Layout{}, fmt.Errorf("%w: %v", ErrBadLayout, err)
+			}
+		case rest[0] == "scheme parity":
+			l.Scheme = Parity
+		default:
+			return Layout{}, fmt.Errorf("%w: %q", ErrBadLayout, rest[0])
+		}
+		rest = rest[1:]
+	}
+	for _, line := range rest {
 		var node, port int
 		var id uint64
 		if _, err := fmt.Sscanf(line, "obj %d %d %d", &node, &port, &id); err != nil {
-			return l, fmt.Errorf("%w: %v", ErrBadLayout, err)
+			return Layout{}, fmt.Errorf("%w: %v", ErrBadLayout, err)
 		}
 		l.Objs = append(l.Objs, storage.ObjRef{
 			Node: netsim.NodeID(node),
@@ -81,16 +198,106 @@ func Decode(data []byte) (Layout, error) {
 			ID:   osd.ObjectID(id),
 		})
 	}
+	if err := l.Validate(); err != nil {
+		return Layout{}, err
+	}
 	return l, nil
 }
 
-// Locate maps a file offset to (object index, object offset) under RAID-0:
-// unit w of the file lives on object w mod M at unit slot w div M.
+// Locate maps a file offset to (data column index, object offset) under
+// RAID-0 arithmetic over the Width data columns: unit w of the file lives
+// on column w mod M at unit slot w div M. Redundancy is invisible here —
+// replica copies mirror their column and parity hangs off the side.
 func (l Layout) Locate(off int64) (obj int, objOff int64) {
 	u := l.Unit
-	m := int64(len(l.Objs))
+	m := int64(l.Width())
 	w := off / u
 	return int(w % m), (w/m)*u + off%u
+}
+
+// ObjectLength returns the byte length object idx holds when the layout is
+// filled to Size: data columns hold their round-robin share (replica copies
+// mirror their column), and the parity object is as long as the longest
+// data column.
+func (l Layout) ObjectLength(idx int) int64 {
+	w := l.Width()
+	switch l.Scheme {
+	case Replica:
+		return l.columnLength(idx % w)
+	case Parity:
+		if idx == w {
+			var max int64
+			for c := 0; c < w; c++ {
+				if n := l.columnLength(c); n > max {
+					max = n
+				}
+			}
+			return max
+		}
+	}
+	return l.columnLength(idx)
+}
+
+// columnLength is the RAID-0 share of data column col implied by Size.
+func (l Layout) columnLength(col int) int64 {
+	if l.Size <= 0 || l.Unit <= 0 {
+		return 0
+	}
+	w := int64(l.Width())
+	u := l.Unit
+	units := (l.Size + u - 1) / u // total units, last possibly partial
+	mine := units / w
+	if int64(col) < units%w {
+		mine++
+	}
+	if mine == 0 {
+		return 0
+	}
+	last := (mine-1)*w + int64(col) // global index of my last unit
+	end := last*u + u
+	if end > l.Size {
+		end = l.Size
+	}
+	return (mine-1)*u + (end - last*u)
+}
+
+// Recoverable reports whether the layout's data stays fully readable when
+// every target for which down returns true is unreachable: RAID-0 tolerates
+// no loss, Replica needs one surviving copy per column, Parity tolerates
+// losing at most one object (data or parity).
+func (l Layout) Recoverable(down func(storage.Target) bool) bool {
+	switch l.Scheme {
+	case Replica:
+		w := l.Width()
+		for col := 0; col < w; col++ {
+			alive := false
+			for c := 0; c < l.Copies; c++ {
+				if !down(storage.TargetOf(l.ReplicaObj(c, col))) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return false
+			}
+		}
+		return true
+	case Parity:
+		lost := 0
+		for _, o := range l.Objs {
+			if down(storage.TargetOf(o)) {
+				lost++
+			}
+		}
+		return lost <= 1
+	default:
+		for _, o := range l.Objs {
+			if down(storage.TargetOf(o)) {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // Piece is one stripe unit's worth (or less) of a request: a contiguous
@@ -106,23 +313,26 @@ type Piece struct {
 // contiguous in object space but interleaved (stride M×unit) in file space —
 // the gather/scatter the engine performs around each RPC.
 type Request struct {
-	Obj    int   // index into Layout.Objs
+	Obj    int   // data column index (Layout.Objs index for copy 0)
 	Off    int64 // object offset of the extent's first byte
 	Len    int64 // extent length
 	Pieces []Piece
 }
 
-// Plan maps the file range [off, off+length) onto the object set, merging
-// every unit that lands on the same object into one Request per contiguous
+// Plan maps the file range [off, off+length) onto the data columns, merging
+// every unit that lands on the same column into one Request per contiguous
 // object extent. For a contiguous range (the only kind expressible here)
-// RAID-0 yields exactly one Request per touched object; requests come back
-// in first-touch order, so fan-out order is deterministic.
+// RAID-0 arithmetic yields exactly one Request per touched column; requests
+// come back in first-touch order, so fan-out order is deterministic. The
+// plan is redundancy-blind: Request.Obj is a data column index, and the
+// engine expands it to replica copies or a parity update as the scheme
+// demands.
 func (l Layout) Plan(off, length int64) []Request {
-	if length <= 0 || l.Unit <= 0 || len(l.Objs) == 0 {
+	if length <= 0 || l.Unit <= 0 || l.Width() <= 0 {
 		return nil
 	}
 	var reqs []Request
-	last := make([]int, len(l.Objs)) // per-object index of its open request
+	last := make([]int, l.Width()) // per-column index of its open request
 	for i := range last {
 		last[i] = -1
 	}
