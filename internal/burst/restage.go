@@ -34,7 +34,16 @@ import (
 //
 // Returns the number of extents re-staged. Adopting an empty or absent
 // journal is a no-op.
+//
+// The adopter itself must be journaled: a memory-only buffer would convert
+// the peer's durably-journaled extents into memory-only state while the
+// fencing marker stops every other recovery path from replaying them — a
+// crash of the adopter before draining would then lose data that was
+// recoverable a moment earlier.
 func (s *Server) AdoptJournal(p *sim.Proc, jdev *osd.Device) (adopted int, err error) {
+	if s.jdev == nil {
+		return 0, fmt.Errorf("burst: adopt: adopter must be journaled")
+	}
 	if jdev == nil {
 		return 0, fmt.Errorf("burst: adopt: nil journal device")
 	}
@@ -110,15 +119,12 @@ func (s *Server) AdoptJournal(p *sim.Proc, jdev *osd.Device) (adopted int, err e
 			return adopted, err
 		}
 		req := stageReq{Cap: rec.cap.cap(), Ref: rec.ref, Off: rec.off, Len: rec.length}
-		var seq uint64
-		if s.jdev != nil {
-			seq, err = s.journalStage(p, req, payload)
-			if epoch != s.epoch {
-				return adopted, fmt.Errorf("burst: crashed while adopting obj %d", uint64(rec.ref.ID))
-			}
-			if err != nil {
-				return adopted, fmt.Errorf("burst: adopt: journal append: %w", err)
-			}
+		seq, err := s.journalStage(p, req, payload)
+		if epoch != s.epoch {
+			return adopted, fmt.Errorf("burst: crashed while adopting obj %d", uint64(rec.ref.ID))
+		}
+		if err != nil {
+			return adopted, fmt.Errorf("burst: adopt: journal append: %w", err)
 		}
 		s.stageAvail.Add(-rec.length)
 		s.adopted.Inc()

@@ -80,6 +80,41 @@ func TestAdoptJournalRestagesOntoPeer(t *testing.T) {
 	}
 }
 
+// TestAdoptJournalRequiresJournaledAdopter: a memory-only buffer must not
+// adopt — it would turn the peer's durably-journaled extents into
+// memory-only state while the fencing marker stops every other recovery
+// path from replaying them. The refusal must leave the peer's journal
+// unfenced, so a journaled peer can still adopt afterwards.
+func TestAdoptJournalRequiresJournaledAdopter(t *testing.T) {
+	cfg := burst.DefaultConfig()
+	cfg.DrainBW = 1 * mb
+	r, srv, bbA, bbB := bootJournaledPair(t, cfg)
+	bbC := burst.Start(r.Eps[4], r.AuthzClient(4), burst.DefaultPort, cfg) // memory-only
+	sc := storage.NewClient(r.Caller(0))
+	bc := burst.NewClient(r.Caller(0))
+	r.Go("client", func(p *sim.Proc) {
+		cid, caps := session(t, p, r)
+		ref, err := sc.Create(p, storage.Target{Node: srv.Node(), Port: srv.RPCPort()}, caps[authz.OpCreate], cid)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if staged, err := bc.StageWrite(p, bbA.Tgt(), ref, caps[authz.OpWrite], 0, netsim.BytesPayload(pattern(mb))); err != nil || !staged {
+			t.Fatalf("stage: staged=%v err=%v", staged, err)
+		}
+		bbA.Crash()
+		if _, err := bbC.AdoptJournal(p, bbA.JournalDevice()); err == nil {
+			t.Fatal("memory-only buffer adopted a journal, want refusal")
+		}
+		if n, err := bbB.AdoptJournal(p, bbA.JournalDevice()); err != nil || n != 1 {
+			t.Fatalf("journaled adopt after refusal: adopted=%d err=%v, want 1", n, err)
+		}
+	})
+	r.Run(t)
+	if bbC.Adopted() != 0 {
+		t.Fatalf("memory-only adopter counted %d extents, want 0", bbC.Adopted())
+	}
+}
+
 // TestAdoptJournalIdempotent: a second adoption pass over an already-fenced
 // journal takes nothing — the marker is a high-water mark, not a hint.
 func TestAdoptJournalIdempotent(t *testing.T) {

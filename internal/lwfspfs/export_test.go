@@ -1,0 +1,13 @@
+package lwfspfs
+
+import "lwfs/internal/stripe"
+
+// SetLayoutForTest swaps f's in-memory layout and marks it dirty so the
+// next Close rewrites the metadata object. Regression tests use it to
+// force a metadata rewrite whose encoding is shorter than the one on disk
+// (normally only Rebuild can shrink the encoding, and only when the
+// replacement refs happen to have fewer digits).
+func (f *File) SetLayoutForTest(l stripe.Layout) {
+	f.l = l
+	f.dirty = true
+}

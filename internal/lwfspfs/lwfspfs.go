@@ -276,6 +276,7 @@ type File struct {
 	path  string
 	mdRef storage.ObjRef
 	l     stripe.Layout
+	mdLen int64 // metadata object length as of the last read or flush
 	dirty bool
 }
 
@@ -306,7 +307,8 @@ func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 		tx.Abort(p) //nolint:errcheck
 		return nil, err
 	}
-	if _, err := fs.c.Write(p, mdRef, fs.caps, 0, netsim.BytesPayload(l.Encode())); err != nil {
+	enc := l.Encode()
+	if _, err := fs.c.Write(p, mdRef, fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
 		tx.Abort(p) //nolint:errcheck
 		return nil, err
 	}
@@ -317,7 +319,7 @@ func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 	if err := tx.Commit(p); err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, path: path, mdRef: mdRef, l: l}, nil
+	return &File{fs: fs, path: path, mdRef: mdRef, l: l, mdLen: int64(len(enc))}, nil
 }
 
 // Open opens an existing file.
@@ -334,7 +336,7 @@ func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, path: path, mdRef: e.Ref, l: l}, nil
+	return &File{fs: fs, path: path, mdRef: e.Ref, l: l, mdLen: int64(len(payload.Data))}, nil
 }
 
 // Remove unlinks a file and frees its objects.
@@ -520,10 +522,24 @@ func (f *File) Close(p *sim.Proc) error {
 	return f.flushMeta(p)
 }
 
+// flushMeta rewrites the layout record at offset 0. Size-only updates are
+// length-monotonic, but Rebuild swaps object refs, so the new encoding can
+// be shorter than what's on disk — the metadata object is truncated in
+// that case, or the stale tail of the old encoding would make the next
+// Open's Decode fail with ErrBadLayout.
 func (f *File) flushMeta(p *sim.Proc) error {
-	_, err := f.fs.c.Write(p, f.mdRef, f.fs.caps, 0, netsim.BytesPayload(f.l.Encode()))
+	enc := f.l.Encode()
+	if _, err := f.fs.c.Write(p, f.mdRef, f.fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
+		return err
+	}
+	if int64(len(enc)) < f.mdLen {
+		if err := f.fs.c.Truncate(p, f.mdRef, f.fs.caps, int64(len(enc))); err != nil {
+			return err
+		}
+	}
+	f.mdLen = int64(len(enc))
 	f.dirty = false
-	return err
+	return nil
 }
 
 // pathHash spreads files' starting servers.

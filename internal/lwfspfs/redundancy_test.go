@@ -106,6 +106,45 @@ func TestRedundantFileSurvivesServerCrash(t *testing.T) {
 	}
 }
 
+// A metadata rewrite whose encoding is shorter than the previous one (as
+// Rebuild produces when a replacement ref has fewer digits than the dead
+// one) must truncate the metadata object: a stale tail of the old encoding
+// would garble the next Open's Decode and leave the file unopenable.
+func TestFlushMetaShrinkingEncoding(t *testing.T) {
+	cl, l := smallCluster()
+	c := cl.NewClient(l, 0)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol2", lwfspfs.Options{StripeUnit: 64 << 10})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		f, err := fs.Create(p, "/shrink.bin")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		short := f.Layout()
+		if len(short.Objs) < 2 {
+			t.Fatalf("need a multi-object layout, got %d objects", len(short.Objs))
+		}
+		short.Objs = short.Objs[:1] // three fewer obj lines: encoding shrinks
+		f.SetLayoutForTest(short)
+		if err := f.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		g, err := fs.Open(p, "/shrink.bin")
+		if err != nil {
+			t.Fatalf("reopen after shrinking metadata rewrite: %v", err)
+		}
+		if len(g.Layout().Objs) != 1 {
+			t.Fatalf("reopened layout has %d objects, want 1", len(g.Layout().Objs))
+		}
+	})
+	run(t, cl)
+}
+
 // The superblock round-trips the redundancy options, and a RAID-0 format
 // still writes the byte-identical legacy superblock (no scheme line).
 func TestSuperblockPersistsScheme(t *testing.T) {

@@ -88,24 +88,35 @@ func (r *Rebuilder) Rebuild(p *sim.Proc, l Layout, dead storage.Target, spares [
 	out.Objs = append([]storage.ObjRef(nil), l.Objs...)
 	repaired := newTargetSet()
 	spareAt := 0
+	// A failed attempt returns the unpatched layout, so the replacement
+	// objects created up to that point would be orphans — remove them
+	// (best effort: the spare itself may have died) before returning.
+	var created []storage.ObjRef
+	fail := func(err error) (Layout, error) {
+		for _, ref := range created {
+			r.e.c.Remove(p, ref, r.e.caps) //nolint:errcheck
+		}
+		return l, err
+	}
 	for _, idx := range idxs {
 		t, ok := r.pickSpare(out, idx, dead, spares, &spareAt)
 		if !ok {
-			return l, fmt.Errorf("stripe/rebuild: no usable spare for object %d", idx)
+			return fail(fmt.Errorf("stripe/rebuild: no usable spare for object %d", idx))
 		}
 		ref, err := r.e.c.CreateObject(p, t, r.e.caps)
 		if err != nil {
-			return l, fmt.Errorf("stripe/rebuild: create on %v: %w", t, err)
+			return fail(fmt.Errorf("stripe/rebuild: create on %v: %w", t, err))
 		}
+		created = append(created, ref)
 		if err := r.rebuildObject(p, out, idx, ref, dead); err != nil {
-			return l, err
+			return fail(err)
 		}
 		out.Objs[idx] = ref
 		repaired.add(t)
 		r.done.Inc()
 	}
 	if err := r.e.SyncTargets(p, repaired.list); err != nil {
-		return l, fmt.Errorf("stripe/rebuild: sync: %w", err)
+		return fail(fmt.Errorf("stripe/rebuild: sync: %w", err))
 	}
 	return out, nil
 }

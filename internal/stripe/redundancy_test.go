@@ -445,6 +445,52 @@ func TestRebuildParity(t *testing.T) {
 	}
 }
 
+// A rebuild attempt that fails midway must not leak its replacement
+// objects: the ones already created are removed before the error returns,
+// so repeated failed attempts don't accumulate orphans on the spares.
+func TestRebuildFailureRemovesOrphans(t *testing.T) {
+	cl, lw := engineCluster(4)
+	c := cl.NewClient(lw, 0)
+	c.SetRetry(redundRetry, 13)
+	cl.Spawn("app", func(p *sim.Proc) {
+		caps := appSetup(t, p, c)
+		eng := stripe.NewEngine(c, caps, 0)
+		// Hand-placed replica 2×2 with BOTH copies of column 1 on the
+		// to-be-dead server 1: column 1 has no surviving copy, so the
+		// rebuild fails after creating a replacement for its first slot.
+		l := stripe.Layout{Unit: 8 << 10, Scheme: stripe.Replica, Copies: 2, Size: 64_000}
+		for _, srv := range []int{2, 1, 3, 1} { // col0c0, col1c0, col0c1, col1c1
+			ref, err := c.CreateObject(p, c.Server(srv), caps)
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			l.Objs = append(l.Objs, ref)
+		}
+		if _, err := eng.WriteAt(p, l, 0, netsim.SyntheticPayload(l.Size)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		before := 0
+		for _, srv := range lw.Servers {
+			before += srv.Device().NumObjects()
+		}
+		dead := c.Server(1)
+		lw.Servers[1].Crash()
+		if _, err := stripe.NewRebuilder(eng).Rebuild(p, l, dead, c.Servers()); !errors.Is(err, stripe.ErrUnrecoverable) {
+			t.Fatalf("rebuild = %v, want ErrUnrecoverable", err)
+		}
+		after := 0
+		for _, srv := range lw.Servers {
+			after += srv.Device().NumObjects()
+		}
+		if after != before {
+			t.Fatalf("failed rebuild leaked %d objects", after-before)
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // RAID-0 has nothing to rebuild from.
 func TestRebuildRaid0Unrecoverable(t *testing.T) {
 	cl, lw := engineCluster(2)
