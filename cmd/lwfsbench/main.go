@@ -12,6 +12,7 @@
 //	lwfsbench -experiment recovery          # journaled staging under buffer crash
 //	lwfsbench -experiment stripe            # striped-engine single-file bandwidth
 //	lwfsbench -experiment rebuild           # redundancy cost, degraded reads, rebuild
+//	lwfsbench -experiment qos               # multi-tenant fair-share and breaker sweep
 //	lwfsbench -experiment all
 //
 // The -metrics flag appends per-sweep-point registry snapshot deltas (RPC
@@ -42,7 +43,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -257,6 +258,22 @@ func main() {
 			ro.Objects = []int{2, 4}
 		}
 		res, err := figures.RebuildSweep(ro)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
+		return nil
+	})
+
+	run("qos", func() error {
+		// The contention window must stay long enough for >=20 interactive
+		// samples, so -quick only cuts trials, not the workload.
+		qo := figures.QoSOpts{Trials: *trials, Progress: progress, Metrics: *metrics}
+		if *quick {
+			qo.Trials = 1
+		}
+		res, err := figures.QoSSweep(qo)
 		if err != nil {
 			return err
 		}

@@ -46,6 +46,7 @@ import (
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
+	"lwfs/internal/qos"
 	"lwfs/internal/sim"
 	"lwfs/internal/stats"
 	"lwfs/internal/storage"
@@ -97,6 +98,15 @@ type Config struct {
 	// Below it the journal is retained so a crash shortly *after* the drains
 	// finish can still vouch for the drained refs. 0 = 2× StageCapacity.
 	JournalRetain int64
+
+	// QoS, when non-nil, installs a per-tenant admission controller in
+	// front of the staging portal. nil = FIFO, unbounded.
+	QoS *qos.Config
+
+	// NoDrainYield disables the drain scheduler's yield to foreground
+	// pass-through traffic — the pre-QoS behavior, kept as an ablation
+	// knob (the E20 "unfair" baseline).
+	NoDrainYield bool
 }
 
 func (c Config) journalRetain() int64 {
@@ -136,6 +146,10 @@ type stageReq struct {
 	DataPortal portals.Index
 }
 
+// QoSTenant satisfies qos.Classified: the tenant is the capability's
+// container, the accounted cost the staged length.
+func (r stageReq) QoSTenant() (uint64, int64) { return uint64(r.Cap.Container), r.Len }
+
 type stageResp struct {
 	Staged bool // false: staging was full, the write passed through synchronously
 }
@@ -159,8 +173,10 @@ type extent struct {
 type Server struct {
 	ep        *portals.Endpoint
 	az        *authz.Client
-	sc        *storage.Client
+	sc        *storage.Client // drain path (background class)
+	fg        *storage.Client // pass-through relay path (foreground class)
 	cfg       Config
+	adm       *qos.Admission
 	name      string
 	rpcPort   portals.Index
 	cachePort portals.Index
@@ -213,6 +229,8 @@ type Server struct {
 	coalesced    *metrics.Counter   // extents merged away by the drain scheduler
 	drainSyncs   *metrics.Counter   // flush barriers issued against storage
 	drainLat     *metrics.Histogram // staging-ack to durable, milliseconds
+	fgActive     *metrics.Gauge     // pass-through relays currently in flight
+	drainYields  *metrics.Counter   // drain pauses that let foreground traffic ahead
 
 	rpc, waitRPC, cacheRPC *portals.Server
 }
@@ -244,14 +262,22 @@ func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, 
 	name := fmt.Sprintf("burst%d", ep.Node())
 	scope := ep.Metrics().Scope("burst").Scope(ep.NodeName())
 	drain := scope.Scope("drain")
+	// Two storage clients with distinct wire classes: drains are background
+	// (an admission-controlled storage server runs them only when no
+	// foreground request is dispatchable), pass-through relays are
+	// foreground — a client waiting synchronously is behind each one.
 	caller := portals.NewCaller(ep)
+	caller.SetClass(qos.ClassBackground)
+	fgCaller := portals.NewCaller(ep)
 	if cfg.DrainRetry.Enabled() {
 		caller.SetRetry(cfg.DrainRetry, sim.NewRand(int64(ep.Node())))
+		fgCaller.SetRetry(cfg.DrainRetry, sim.NewRand(int64(ep.Node())+1))
 	}
 	s := &Server{
 		ep:           ep,
 		az:           az,
 		sc:           storage.NewClient(caller),
+		fg:           storage.NewClient(fgCaller),
 		cfg:          cfg,
 		name:         name,
 		rpcPort:      rpcPort,
@@ -272,6 +298,8 @@ func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, 
 		coalesced:    drain.Counter("coalesced"),
 		drainSyncs:   drain.Counter("syncs"),
 		drainLat:     drain.Histogram("latency_ms"),
+		fgActive:     scope.Gauge("fg_active"),
+		drainYields:  drain.Counter("yields"),
 		truncations:  scope.Scope("journal").Counter("truncations"),
 		seen:         make(map[storage.ObjRef]bool),
 		pending:      make(map[storage.ObjRef]int),
@@ -279,11 +307,19 @@ func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, 
 		capCache:     make(map[uint64]authz.Capability),
 	}
 	s.stageAvail.Set(cfg.StageCapacity)
-	s.rpc = portals.Serve(ep, s.rpcPort, name, cfg.Threads, s.handle)
+	s.rpc = portals.Serve(ep, s.rpcPort, name, cfg.Threads, s.handle) //qos:admitted
+	if cfg.QoS != nil {
+		s.adm = qos.NewAdmission(ep.Kernel(), ep.Metrics().Scope("qos").Scope(name), *cfg.QoS)
+		s.rpc.SetDispatcher(s.adm)
+	}
+	// Revocation callbacks from the authorization service, not tenant
+	// traffic. //qos:exempt
 	s.cacheRPC = portals.Serve(ep, s.cachePort, name+"/capcache", 1, s.handleInvalidate)
 	// Drain waits block their worker until the staged extents are durable,
 	// so they get their own small thread pool: a waiter must never starve
 	// the staging path (which is what fills the queue the waiter watches).
+	// Long-blocking waiters would also wedge an admission queue, so this
+	// port stays FIFO. //qos:exempt
 	s.waitRPC = portals.Serve(ep, s.waitPort, name+"/wait", 2, s.handleWait)
 	for i := 0; i < cfg.DrainWorkers; i++ {
 		ep.Kernel().SpawnDaemon(fmt.Sprintf("%s/drain%d", name, i), s.drainWorker)
@@ -293,6 +329,14 @@ func startServer(ep *portals.Endpoint, az *authz.Client, rpcPort portals.Index, 
 
 // Node returns the node the server runs on.
 func (s *Server) Node() netsim.NodeID { return s.ep.Node() }
+
+// Admission exposes the staging port's admission controller (nil without
+// Config.QoS).
+func (s *Server) Admission() *qos.Admission { return s.adm }
+
+// DrainYields reports how many times a drain batch paused to let a
+// synchronous pass-through relay go first (`burst.<node>.drain.yields`).
+func (s *Server) DrainYields() int64 { return s.drainYields.Value() }
 
 // RPCPort returns the server's staging request portal.
 func (s *Server) RPCPort() portals.Index { return s.rpcPort }
@@ -497,15 +541,19 @@ func (s *Server) stage(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}
 // acknowledging — the client sees direct-write latency, never a failure.
 func (s *Server) passthrough(p *sim.Proc, from netsim.NodeID, r stageReq) (interface{}, error) {
 	epoch := s.epoch
+	// A client is synchronously blocked behind this relay: flag it so the
+	// drain workers yield the storage device (sched.go) until it completes.
+	s.fgActive.Add(1)
+	defer s.fgActive.Add(-1)
 	_, err := storage.ChunkedPull(p, s.ep, s.name, from, r.DataPortal, r.Bits, r.Len, s.cfg.ChunkSize, s.bufPool,
 		func(q *sim.Proc, off int64, chunk netsim.Payload) error {
-			_, werr := s.sc.Write(q, r.Ref, r.Cap, r.Off+off, chunk)
+			_, werr := s.fg.Write(q, r.Ref, r.Cap, r.Off+off, chunk)
 			return werr
 		})
 	if err != nil {
 		return nil, err
 	}
-	if err := s.sc.Sync(p, storage.TargetOf(r.Ref), r.Cap); err != nil {
+	if err := s.fg.Sync(p, storage.TargetOf(r.Ref), r.Cap); err != nil {
 		return nil, err
 	}
 	if epoch != s.epoch {

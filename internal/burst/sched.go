@@ -110,6 +110,28 @@ func (s *Server) enqueue(e extent) {
 	s.drainq.Send(struct{}{})
 }
 
+// drainYieldPoll is how often a yielding drain worker re-checks whether the
+// foreground pass-through traffic has cleared.
+const drainYieldPoll = 200 * time.Microsecond
+
+// yieldToForeground pauses a drain worker while a synchronous pass-through
+// relay is in flight — the fix for the foreground/background inversion: a
+// full staging window used to degrade new writes to pass-through while the
+// background drains kept the storage device busy, so exactly when clients
+// were most exposed to storage latency they also had the most competition.
+// The pause is naturally bounded: it holds only while a client is actively
+// blocked mid-relay, and each relay's completion frees staging capacity.
+// Config.NoDrainYield restores the old behavior (ablation baseline).
+func (s *Server) yieldToForeground(p *sim.Proc) {
+	if s.cfg.NoDrainYield || s.fgActive.Value() == 0 {
+		return
+	}
+	s.drainYields.Inc()
+	for s.fgActive.Value() > 0 {
+		p.Sleep(drainYieldPoll)
+	}
+}
+
 // drainWorker claims whole-destination batches and streams them to the
 // backing store. Each worker has at most one storage RPC in flight, so
 // DrainWorkers bounds the tier's drain concurrency; DrainBW paces the batch
@@ -139,6 +161,7 @@ func (s *Server) drainWorker(p *sim.Proc) {
 // maps or journal — the replay re-queued those extents under the new epoch
 // and another worker owns them now.
 func (s *Server) drainBatch(p *sim.Proc, tgt storage.Target, batch []extent) {
+	s.yieldToForeground(p)
 	if s.cfg.DrainBW > 0 {
 		var total int64
 		for _, e := range batch {
@@ -151,6 +174,7 @@ func (s *Server) drainBatch(p *sim.Proc, tgt storage.Target, batch []extent) {
 
 	var done, failed []extent
 	for _, m := range merged {
+		s.yieldToForeground(p)
 		if _, err := s.sc.Write(p, m.ref, m.cap, m.off, m.payload); err != nil {
 			failed = append(failed, m.parts...)
 			continue

@@ -27,6 +27,7 @@ import (
 	"lwfs/internal/core"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
+	"lwfs/internal/qos"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 	"lwfs/internal/stripe"
@@ -46,6 +47,12 @@ type Config struct {
 	// of hanging the job. Timeout must comfortably cover one BytesPerProc
 	// write, or healthy writes will be misread as failures.
 	Retry portals.RetryPolicy
+	// Breaker, when non-nil, arms every rank's client with a circuit
+	// breaker (core.Client.SetBreaker): a flapping server fast-fails
+	// instead of charging each retry a full timeout, and the failover
+	// walks (writeObjectFailover, CreateObjectFailover) order targets
+	// whose circuit is open last.
+	Breaker *qos.BreakerPolicy
 	// PatternData dumps PatternFor(rank, BytesPerProc) bytes instead of
 	// metadata-only synthetic payloads, so a Restore pass can verify the
 	// checkpoint content bit-exactly — even for objects that failover
@@ -235,6 +242,9 @@ func SetupLWFS(cl *cluster.Cluster, l *cluster.LWFS, cfg Config) (*Result, error
 			// Per-rank jitter seeds keep chaos runs deterministic while
 			// decorrelating the ranks' backoff schedules.
 			clients[i].SetRetry(cfg.Retry, cfg.Seed+int64(i+1)*1000003)
+		}
+		if cfg.Breaker != nil {
+			clients[i].SetBreaker(*cfg.Breaker)
 		}
 		if len(cfg.Burst) > 0 {
 			// Shares the core client's caller, so staging rides the same
@@ -602,8 +612,21 @@ func dumpLWFS(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, rank,
 // the loop degenerates to the plain happy path.
 func writeObjectFailover(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, prefer int, payload netsim.Payload, doSync bool, t *ProcTimes) (storage.ObjRef, error) {
 	n := len(c.Servers())
-	var lastErr error
+	// With a breaker armed, servers whose circuit is open go to the back
+	// of the rotation: they are still tried (a fast-fail costs nothing and
+	// the circuit may have healed), but never ahead of a healthy server.
+	order := make([]int, 0, n)
+	var downIdx []int
 	for i := 0; i < n; i++ {
+		if c.HealthOf(c.Server(prefer+i)) == qos.Down {
+			downIdx = append(downIdx, i)
+			continue
+		}
+		order = append(order, i)
+	}
+	order = append(order, downIdx...)
+	var lastErr error
+	for _, i := range order {
 		tgt := c.Server(prefer + i)
 		ep := core.TxnEndpointOf(tgt)
 		if h.failed[ep] {

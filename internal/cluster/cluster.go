@@ -25,6 +25,7 @@ import (
 	"lwfs/internal/osd"
 	"lwfs/internal/pfs"
 	"lwfs/internal/portals"
+	"lwfs/internal/qos"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 	"lwfs/internal/txn"
@@ -61,6 +62,11 @@ type Spec struct {
 	Disk    osd.DiskParams
 	Storage storage.Config
 	Burst   burst.Config // burst-tier tuning (used when BurstNodes > 0)
+
+	// QoS, when non-nil, installs per-tenant admission control on every
+	// storage and burst server whose own config doesn't set one (a tier
+	// config's QoS field wins over this cluster-wide default).
+	QoS *qos.Config
 
 	// MDSOpCost is the centralized metadata server's per-operation service
 	// time — the knob behind Figure 10b (used by the baseline PFS).
@@ -233,6 +239,14 @@ func (l *LWFS) BurstTargets() []burst.Target {
 // server per (storage node × ServersPerNode) slot, each with its own disk
 // share.
 func (c *Cluster) DeployLWFS() *LWFS {
+	if c.Spec.QoS != nil {
+		if c.Spec.Storage.QoS == nil {
+			c.Spec.Storage.QoS = c.Spec.QoS
+		}
+		if c.Spec.Burst.QoS == nil {
+			c.Spec.Burst.QoS = c.Spec.QoS
+		}
+	}
 	l := &LWFS{}
 	l.Authn = authn.Start(c.Admin, c.Realm, authn.DefaultConfig())
 	adminAC := authn.NewClient(portals.NewCaller(c.Admin), c.Admin.Node())

@@ -29,6 +29,7 @@ import (
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
+	"lwfs/internal/qos"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 	"lwfs/internal/txn"
@@ -77,6 +78,7 @@ type Client struct {
 	scatter   *sim.Mailbox
 	addr      ProcAddr
 	autoRenew bool
+	breaker   *qos.Breaker
 }
 
 // ProcAddr addresses one client *process* for capability scatter: several
@@ -123,6 +125,29 @@ func (c *Client) Caller() *portals.Caller { return c.caller }
 // pass a value derived from the process rank.
 func (c *Client) SetRetry(pol portals.RetryPolicy, seed int64) {
 	c.caller.SetRetry(pol, sim.NewRand(seed))
+}
+
+// SetBreaker arms every RPC this client issues with a circuit breaker:
+// consecutive timeouts or overload sheds against one (node, portal) open
+// its circuit, and further attempts fast-fail with portals.ErrCircuitOpen
+// (which failover paths treat exactly like a timeout, minus the wait)
+// until a half-open probe succeeds. The per-target health it derives is
+// consulted by CreateObjectFailover and the stripe engine's degraded reads.
+func (c *Client) SetBreaker(pol qos.BreakerPolicy) {
+	c.breaker = qos.NewBreakerFor(c.ep, pol)
+	c.caller.SetBreaker(c.breaker)
+}
+
+// Breaker exposes the client's circuit breaker (nil unless SetBreaker ran).
+func (c *Client) Breaker() *qos.Breaker { return c.breaker }
+
+// HealthOf reports the client's local opinion of a storage target, derived
+// from its breaker history (Ok when no breaker is armed).
+func (c *Client) HealthOf(t storage.Target) qos.Health {
+	if c.breaker == nil {
+		return qos.Ok
+	}
+	return c.breaker.HealthOf(t.Node, t.Port)
 }
 
 // Node returns the client's node.
@@ -284,9 +309,22 @@ func TxnEndpointOf(t storage.Target) txn.Endpoint {
 // server that accepted it.
 func (c *Client) CreateObjectFailover(p *sim.Proc, prefer int, caps CapSet, tx *txn.Txn) (storage.ObjRef, int, error) {
 	n := len(c.sys.Storage)
-	var lastErr error
+	// Walk round-robin from prefer, but with breaker health folded in:
+	// targets whose circuit is open go last, so a flapping server costs at
+	// worst one fast-fail instead of a head-of-line timeout every create.
+	order := make([]int, 0, n)
+	var down []int
 	for i := 0; i < n; i++ {
 		idx := (prefer + i) % n
+		if c.HealthOf(c.sys.Storage[idx]) == qos.Down {
+			down = append(down, idx)
+			continue
+		}
+		order = append(order, idx)
+	}
+	order = append(order, down...)
+	var lastErr error
+	for _, idx := range order {
 		t := c.sys.Storage[idx]
 		var ref storage.ObjRef
 		var err error

@@ -27,6 +27,7 @@ type rpcRequest struct {
 	Token    uint64
 	ReqID    uint64 // nonzero for retryable calls; servers dedup on (From, ReqID)
 	From     netsim.NodeID
+	Class    uint8 // scheduling class (Caller.SetClass); 0 = foreground
 	Body     interface{}
 	RespSize int64 // wire size the response should occupy (0 => header only)
 }
@@ -45,6 +46,46 @@ type rpcResponse struct {
 // (sleep for service time, do disk I/O, issue portals Gets). The returned
 // body travels back to the caller.
 type Handler func(p *sim.Proc, from netsim.NodeID, req interface{}) (resp interface{}, err error)
+
+// ErrOverload is the explicit shed verdict: an admission-controlled server
+// whose queue is full answers immediately with this error instead of letting
+// the request age into a timeout. Callers should back off and retry (Call
+// treats it as retryable); it is NOT a timeout — the server is alive.
+var ErrOverload = errors.New("portals: server overloaded, request shed")
+
+// ErrCircuitOpen is returned by a breaker-armed Caller without issuing the
+// attempt: the target's circuit is open after consecutive failures. It wraps
+// ErrRPCTimeout deliberately — every failover/degraded-read path that treats
+// a timeout as "route around this server" handles a fast-failed attempt
+// identically, except the caller waited zero time instead of a full timeout.
+var ErrCircuitOpen = fmt.Errorf("portals: circuit open (fast-fail): %w", ErrRPCTimeout)
+
+// Delivery is one parsed request in flight between arrival and service —
+// what a Dispatcher schedules. From, Class and Body are visible so admission
+// policy can classify it; the reply routing stays private to the Server.
+type Delivery struct {
+	From  netsim.NodeID
+	Class uint8
+	Body  interface{}
+
+	req   rpcRequest
+	valid bool
+}
+
+// Dispatcher is a pluggable queue discipline between request arrival and the
+// service threads (an admission controller). Submit is called on arrival: it
+// either queues the delivery or rejects it with an error (typically
+// ErrOverload) which is sent straight back to the caller without consuming a
+// service thread. Next blocks a service thread until a delivery is
+// dispatchable — the dispatcher picks the order (fair-share, priority). Len
+// reports queued deliveries; Clear discards them all (server crash) and
+// returns how many were dropped.
+type Dispatcher interface {
+	Submit(d Delivery) error
+	Next(p *sim.Proc) Delivery
+	Len() int
+	Clear() int
+}
 
 // dedupKey identifies one logical client request across retries.
 type dedupKey struct {
@@ -94,6 +135,10 @@ type Server struct {
 	down  bool
 	epoch uint64
 
+	// disp, when set, reorders/limits requests between arrival and
+	// service (admission control). nil keeps the FIFO mailbox path.
+	disp Dispatcher
+
 	// Registered under `rpc.<name>.*` — these count *completed RPC
 	// requests*, a different unit from the link-level `net.<node>.*`
 	// message counters (one served request typically moves several
@@ -101,6 +146,7 @@ type Server struct {
 	served    *metrics.Counter
 	deduped   *metrics.Counter
 	discarded *metrics.Counter
+	shed      *metrics.Counter
 }
 
 // metricName flattens an RPC server name into a registry instance segment:
@@ -126,13 +172,62 @@ func Serve(ep *Endpoint, pt Index, name string, threads int, handler Handler) *S
 		served:    scope.Counter("served"),
 		deduped:   scope.Counter("deduped"),
 		discarded: scope.Counter("discarded"),
+		shed:      scope.Counter("shed"),
 	}
-	scope.GaugeFunc("queue_depth", func() int64 { return int64(s.q.Len()) })
+	scope.GaugeFunc("queue_depth", func() int64 {
+		n := int64(s.q.Len())
+		if s.disp != nil {
+			n += int64(s.disp.Len())
+		}
+		return n
+	})
 	ep.Attach(pt, 0, ^MatchBits(0), &MD{EQ: s.q})
 	for i := 0; i < threads; i++ {
 		k.SpawnDaemon(fmt.Sprintf("%s/worker%d", name, i), s.worker)
 	}
 	return s
+}
+
+// SetDispatcher installs an admission controller between request arrival and
+// the service threads. An intake daemon parses arrivals off the wire mailbox
+// and offers them to d.Submit; a rejection (ErrOverload) is answered
+// immediately with the error and zero payload — the caller learns "shed" at
+// network latency instead of aging into a timeout. Service threads then pull
+// work through d.Next in whatever order the dispatcher chooses.
+//
+// Must be called once, before the simulation runs (servers are configured at
+// deploy time); installing a second dispatcher panics.
+func (s *Server) SetDispatcher(d Dispatcher) {
+	if s.disp != nil {
+		panic(fmt.Sprintf("portals: server %q: dispatcher already set", s.name))
+	}
+	s.disp = d
+	s.ep.Kernel().SpawnDaemon(s.name+"/intake", func(p *sim.Proc) {
+		for {
+			ev := s.q.Recv(p).(*Event)
+			req, ok := ev.Hdr.(rpcRequest)
+			if !ok {
+				continue
+			}
+			if s.down {
+				s.discarded.Inc()
+				continue
+			}
+			if err := d.Submit(Delivery{From: req.From, Class: req.Class, Body: req.Body, req: req, valid: true}); err != nil {
+				s.shedReply(s.epoch, req, err)
+			}
+		}
+	})
+}
+
+// shedReply answers a rejected request with err and no payload. Sheds are
+// counted separately from served: the handler never ran.
+func (s *Server) shedReply(epoch uint64, req rpcRequest, err error) {
+	if s.down || epoch != s.epoch {
+		return
+	}
+	s.shed.Inc()
+	s.ep.Put(req.From, replyPortal, MatchBits(req.Token), rpcResponse{Token: req.Token, Err: err}, netsim.Payload{})
 }
 
 // Served reports the number of requests completed.
@@ -177,6 +272,9 @@ func (s *Server) SetDown(down bool) {
 			}
 			s.discarded.Inc()
 		}
+		if s.disp != nil {
+			s.discarded.Add(int64(s.disp.Clear()))
+		}
 	}
 	s.down = down
 }
@@ -193,10 +291,20 @@ func (s *Server) reply(epoch uint64, req rpcRequest, body interface{}, err error
 
 func (s *Server) worker(p *sim.Proc) {
 	for {
-		ev := s.q.Recv(p).(*Event)
-		req, ok := ev.Hdr.(rpcRequest)
-		if !ok {
-			continue
+		var req rpcRequest
+		if s.disp != nil {
+			del := s.disp.Next(p)
+			if !del.valid {
+				continue
+			}
+			req = del.req
+		} else {
+			ev := s.q.Recv(p).(*Event)
+			var ok bool
+			req, ok = ev.Hdr.(rpcRequest)
+			if !ok {
+				continue
+			}
 		}
 		if s.down {
 			s.discarded.Inc()
@@ -253,12 +361,26 @@ func (s *Server) evictDedup() {
 // ErrRPCTimeout is returned by CallTimeout when the deadline passes.
 var ErrRPCTimeout = errors.New("portals: rpc timeout")
 
+// Breaker is the client-side circuit breaker consulted by a Caller before
+// each attempt. Allow asked false means fast-fail with ErrCircuitOpen instead
+// of issuing the attempt; Record feeds every attempt's outcome (nil on
+// success) back so the breaker can trip on consecutive timeouts/overloads.
+// Keyed by (target, portal) so one sick service on a node does not condemn
+// its healthy neighbors.
+type Breaker interface {
+	Allow(target netsim.NodeID, pt Index) bool
+	Record(target netsim.NodeID, pt Index, err error)
+}
+
 // Caller issues RPCs from an endpoint. Tokens come from the endpoint's
 // shared space, so any number of callers may coexist on one node.
 type Caller struct {
 	ep    *Endpoint
 	retry RetryPolicy
 	rng   *sim.Rand
+
+	class   uint8   // stamped on every outgoing request (qos scheduling class)
+	breaker Breaker // optional fast-fail gate, consulted per attempt
 
 	// Per-caller instruments (tests assert individual callers), mirrored
 	// into the shared node-wide `rpc.client.<node>.retries|late_replies`
@@ -296,6 +418,14 @@ func (c *Caller) SetRetry(pol RetryPolicy, rng *sim.Rand) {
 // Retry returns the caller's retry policy (zero if disabled).
 func (c *Caller) Retry() RetryPolicy { return c.retry }
 
+// SetClass stamps every request this caller sends with a scheduling class
+// (0 = foreground, the default). Admission-controlled servers use it to run
+// foreground traffic ahead of background batches (burst drains).
+func (c *Caller) SetClass(class uint8) { c.class = class }
+
+// SetBreaker arms the caller with a circuit breaker. nil disarms.
+func (c *Caller) SetBreaker(b Breaker) { c.breaker = b }
+
 // LateReplies reports responses that arrived after their attempt timed out.
 // Each was dropped at the reply portal — never delivered to another call.
 // Node-wide totals are registered as `rpc.client.<node>.late_replies`.
@@ -324,6 +454,12 @@ func (c *Caller) Call(p *sim.Proc, target netsim.NodeID, pt Index, req interface
 			p.Sleep(c.retry.Pause(a-1, c.rng))
 		}
 		v, err := c.call(p, target, pt, req, reqSize, respSize, c.retry.Timeout, reqID)
+		if errors.Is(err, ErrCircuitOpen) {
+			// Fast-fail, not a lost message: retrying would just spin on
+			// the open breaker (ErrCircuitOpen wraps ErrRPCTimeout so the
+			// caller's failover logic still reads it as "route around").
+			return v, err
+		}
 		if !errors.Is(err, ErrRPCTimeout) {
 			return v, err
 		}
@@ -342,10 +478,13 @@ func (c *Caller) CallTimeout(p *sim.Proc, target netsim.NodeID, pt Index, req in
 }
 
 func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface{}, reqSize, respSize int64, timeout time.Duration, reqID uint64) (interface{}, error) {
+	if c.breaker != nil && !c.breaker.Allow(target, pt) {
+		return nil, ErrCircuitOpen
+	}
 	token := c.ep.nextTok()
 	mb := sim.NewMailbox(c.ep.Kernel(), fmt.Sprintf("rpc-reply-%d", token))
 	me := c.ep.AttachOnce(replyPortal, MatchBits(token), 0, &MD{EQ: mb})
-	c.ep.Put(target, pt, 0, rpcRequest{Token: token, ReqID: reqID, From: c.ep.Node(), Body: req, RespSize: respSize},
+	c.ep.Put(target, pt, 0, rpcRequest{Token: token, ReqID: reqID, From: c.ep.Node(), Class: c.class, Body: req, RespSize: respSize},
 		netsim.SyntheticPayload(reqSize))
 
 	var ev interface{}
@@ -359,6 +498,9 @@ func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface
 				c.lateReplies.Inc()
 				c.nodeLateReplies.Inc()
 			})
+			if c.breaker != nil {
+				c.breaker.Record(target, pt, ErrRPCTimeout)
+			}
 			return nil, ErrRPCTimeout
 		}
 		ev = v
@@ -366,5 +508,8 @@ func (c *Caller) call(p *sim.Proc, target netsim.NodeID, pt Index, req interface
 		ev = mb.Recv(p)
 	}
 	resp := ev.(*Event).Hdr.(rpcResponse)
+	if c.breaker != nil {
+		c.breaker.Record(target, pt, resp.Err)
+	}
 	return resp.Body, resp.Err
 }

@@ -1,0 +1,20 @@
+package storage
+
+// QoS classification for the storage request types: every request names its
+// tenant (the capability's container — the same identity the authorization
+// service vouches for) and the byte cost the admission controller should
+// account. The methods satisfy qos.Classified structurally, so this package
+// does not import internal/qos; only the deploy-time wiring in Start does.
+
+func (r createReq) QoSTenant() (uint64, int64)   { return uint64(r.Cap.Container), 0 }
+func (r writeReq) QoSTenant() (uint64, int64)    { return uint64(r.Cap.Container), r.Len }
+func (r readReq) QoSTenant() (uint64, int64)     { return uint64(r.Cap.Container), r.Len }
+func (r removeReq) QoSTenant() (uint64, int64)   { return uint64(r.Cap.Container), 0 }
+func (r truncateReq) QoSTenant() (uint64, int64) { return uint64(r.Cap.Container), 0 }
+func (r statReq) QoSTenant() (uint64, int64)     { return uint64(r.Cap.Container), 0 }
+func (r listReq) QoSTenant() (uint64, int64)     { return uint64(r.Cap.Container), 0 }
+func (r syncReq) QoSTenant() (uint64, int64)     { return uint64(r.Cap.Container), 0 }
+func (r setAttrReq) QoSTenant() (uint64, int64)  { return uint64(r.Cap.Container), 0 }
+func (r getAttrReq) QoSTenant() (uint64, int64)  { return uint64(r.Cap.Container), 0 }
+func (r copyReq) QoSTenant() (uint64, int64)     { return uint64(r.DstCap.Container), r.Len }
+func (r filterReq) QoSTenant() (uint64, int64)   { return uint64(r.Cap.Container), r.Len }

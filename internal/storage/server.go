@@ -23,6 +23,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"lwfs/internal/authz"
@@ -30,6 +31,7 @@ import (
 	"lwfs/internal/netsim"
 	"lwfs/internal/osd"
 	"lwfs/internal/portals"
+	"lwfs/internal/qos"
 	"lwfs/internal/sim"
 	"lwfs/internal/txn"
 )
@@ -78,6 +80,10 @@ type Config struct {
 	// an authorization-service round trip) — the ablation knob for the
 	// §3.1.2 amortization argument.
 	DisableCapCache bool
+	// QoS, when non-nil, installs a per-tenant admission controller in
+	// front of the request portal (fair-share scheduling, rate caps,
+	// bounded queue with explicit overload shed). nil = FIFO, unbounded.
+	QoS *qos.Config
 }
 
 // DefaultConfig returns the calibrated defaults.
@@ -104,6 +110,7 @@ type Server struct {
 	capCache map[uint64]authz.Capability
 	part     *txn.Participant
 	filters  map[string]FilterFunc
+	adm      *qos.Admission
 
 	cacheHits, cacheMisses, invalidated *metrics.Counter
 	rpc, cacheRPC                       *portals.Server
@@ -130,11 +137,26 @@ func Start(ep *portals.Endpoint, dev *osd.Device, az *authz.Client, rpcPort port
 	s.cacheHits = cc.Counter("hits")
 	s.cacheMisses = cc.Counter("misses")
 	s.invalidated = cc.Counter("invalidated")
-	s.rpc = portals.Serve(ep, s.rpcPort, dev.Name(), cfg.Threads, s.handle)
+	s.rpc = portals.Serve(ep, s.rpcPort, dev.Name(), cfg.Threads, s.handle) //qos:admitted
+	if cfg.QoS != nil {
+		s.adm = qos.NewAdmission(ep.Kernel(), ep.Metrics().Scope("qos").Scope(metricName(dev.Name())), *cfg.QoS)
+		s.rpc.SetDispatcher(s.adm)
+	}
+	// The invalidation port is the authorization service's revocation
+	// channel, not tenant traffic — admission control would let one tenant
+	// delay another's revocations. //qos:exempt
 	s.cacheRPC = portals.Serve(ep, s.cachePort, dev.Name()+"/capcache", 1, s.handleInvalidate)
 	s.part = txn.NewParticipant(ep, dev, s.rpcPort+2)
 	return s
 }
+
+// metricName flattens a server name for a registry segment (mirrors the rpc
+// scope convention).
+func metricName(name string) string { return strings.ReplaceAll(name, "/", ".") }
+
+// Admission exposes the server's admission controller (nil without
+// Config.QoS) — tests and operators adjust tenant weights through it.
+func (s *Server) Admission() *qos.Admission { return s.adm }
 
 // Crash fail-stops the server process: in-flight requests die unanswered,
 // queued requests are discarded, and all volatile state is lost — the

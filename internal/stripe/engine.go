@@ -8,6 +8,7 @@ import (
 	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
 	"lwfs/internal/portals"
+	"lwfs/internal/qos"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 )
@@ -438,7 +439,21 @@ func (e *Engine) ReadAt(p *sim.Proc, l Layout, off, length int64) (netsim.Payloa
 func (e *Engine) readDegraded(p *sim.Proc, l Layout, r Request) (netsim.Payload, error) {
 	e.degradedReads.Inc()
 	if l.Scheme == Replica {
+		// Try surviving copies in copy order, except that copies on
+		// servers the client's circuit breaker holds Down go last: when a
+		// breaker is armed (core.Client.SetBreaker) a flapping server
+		// costs a fast-fail here instead of a full timeout per extent.
+		copies := make([]int, 0, l.Copies-1)
+		var down []int
 		for c := 1; c < l.Copies; c++ {
+			if e.c.HealthOf(storage.TargetOf(l.ReplicaObj(c, r.Obj))) == qos.Down {
+				down = append(down, c)
+				continue
+			}
+			copies = append(copies, c)
+		}
+		copies = append(copies, down...)
+		for _, c := range copies {
 			pl, rerr := e.c.Read(p, l.ReplicaObj(c, r.Obj), e.caps, r.Off, r.Len)
 			e.reqs.Inc()
 			if rerr == nil {

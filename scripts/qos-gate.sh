@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# qos-gate.sh: keep the data-path servers behind admission control.
+#
+# Every portals.Serve call site in the storage and burst tiers must be
+# annotated: `//qos:admitted` if the handler routes through the qos.Admission
+# dispatcher (Server.SetDispatcher), or `//qos:exempt` with a rationale if it
+# deliberately stays FIFO (control-plane ports like capability-cache
+# invalidation and drain-wait parking, which must not queue behind tenant
+# data). A bare Serve call means someone added an RPC surface that bypasses
+# per-tenant fair share — fail the build and point them at internal/qos.
+#
+# Run from the repository root: ./scripts/qos-gate.sh
+set -u
+
+offenders=$(
+	for f in $(find internal/storage internal/burst -name '*.go' ! -name '*_test.go'); do
+		awk -v file="$f" '
+			/qos:(admitted|exempt)/ { armed = 1 }
+			/portals\.Serve\(/ {
+				if (!armed && $0 !~ /qos:(admitted|exempt)/) {
+					printf "%s:%d: %s\n", file, NR, $0
+				}
+				armed = 0
+				next
+			}
+			!/qos:(admitted|exempt)/ { armed = 0 }
+		' "$f"
+	done
+)
+
+if [ -n "$offenders" ]; then
+	echo "qos-gate: portals.Serve call site(s) in the data tiers without a qos annotation:" >&2
+	echo "$offenders" >&2
+	echo "qos-gate: route the handler through qos.Admission (//qos:admitted) or mark it //qos:exempt with a rationale (see internal/qos)." >&2
+	exit 1
+fi
+echo "qos-gate: ok"
