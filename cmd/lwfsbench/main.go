@@ -13,11 +13,12 @@
 //	lwfsbench -experiment stripe            # striped-engine single-file bandwidth
 //	lwfsbench -experiment rebuild           # redundancy cost, degraded reads, rebuild
 //	lwfsbench -experiment qos               # multi-tenant fair-share and breaker sweep
+//	lwfsbench -experiment meta              # replicated-metadata cost and availability
 //	lwfsbench -experiment all
 //
 // The -metrics flag appends per-sweep-point registry snapshot deltas (RPC
 // rates, cache hit ratios, queue depths, drain backlog) to the burst,
-// recovery, and rebuild experiments.
+// recovery, rebuild, and meta experiments.
 //
 // -quick shrinks the sweeps (2 trials, fewer points, 64 MB/process) for a
 // fast smoke run; the defaults reproduce the paper's parameters (512
@@ -43,7 +44,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|meta|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -51,7 +52,7 @@ func main() {
 		bytesMB    = flag.Int64("mb-per-proc", 0, "MB written per process (0 = paper's 512)")
 		verbose    = flag.Bool("v", false, "progress output to stderr")
 		plot       = flag.Bool("plot", false, "render ASCII plots of the figure shapes")
-		metrics    = flag.Bool("metrics", false, "dump registry snapshot deltas per sweep point (burst, recovery, rebuild)")
+		metrics    = flag.Bool("metrics", false, "dump registry snapshot deltas per sweep point (burst, recovery, rebuild, meta)")
 	)
 	flag.Parse()
 
@@ -258,6 +259,22 @@ func main() {
 			ro.Objects = []int{2, 4}
 		}
 		res, err := figures.RebuildSweep(ro)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
+		return nil
+	})
+
+	run("meta", func() error {
+		mo := figures.MetaOpts{Trials: *trials, Progress: progress, Metrics: *metrics}
+		if *quick {
+			mo.Trials = 1
+			mo.FileKB = 128
+			mo.Files = []int{2, 4}
+		}
+		res, err := figures.MetaSweep(mo)
 		if err != nil {
 			return err
 		}

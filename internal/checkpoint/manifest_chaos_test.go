@@ -1,0 +1,149 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lwfs/internal/authz"
+	"lwfs/internal/checkpoint"
+	"lwfs/internal/cluster"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
+	"lwfs/internal/testrig"
+)
+
+type manifestOutcome struct {
+	res      *checkpoint.Result
+	manifest checkpoint.Manifest
+	data     [][]byte
+	restErr  error
+	mirrored float64 // ckpt.manifest.mirror_reads after the run
+}
+
+// runManifestChaos dumps a redundant checkpoint to completion, then — in
+// the window between dump and restore — crashes the server hosting the
+// manifest's primary mirror (never restarted) at a seed-shifted instant,
+// and finally restores. The manifest location is read from the naming
+// entry, so the schedule tracks placement wherever it lands.
+func runManifestChaos(t *testing.T, seed int64, rd *checkpoint.RedundantDump) manifestOutcome {
+	t.Helper()
+	cl := cluster.New(redundantChaosSpec())
+	cl.RegisterUser("app", "s3cret")
+	l := cl.DeployLWFS()
+	cfg := checkpoint.Config{
+		Procs:        4,
+		BytesPerProc: 2 * mb,
+		Seed:         seed,
+		Retry:        chaosRetry,
+		PatternData:  true,
+		Redundant:    rd,
+	}
+	res, err := checkpoint.SetupLWFS(cl, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := manifestOutcome{res: res}
+
+	restoreRetry := chaosRetry
+	restoreRetry.Timeout = 100 * time.Millisecond
+	restarter := cl.NewClient(l, 0)
+	restarter.SetRetry(restoreRetry, seed+99)
+	gate := sim.NewMailbox(cl.K, "mchaos/gate")
+	cl.Spawn("gate", func(p *sim.Proc) {
+		for len(res.Per) < cfg.Procs {
+			p.Sleep(50 * time.Millisecond)
+		}
+		p.Sleep(100 * time.Millisecond)
+		gate.Send("go")
+	})
+	cl.Spawn("restore", func(p *sim.Proc) {
+		gate.Recv(p)
+		if err := restarter.Login(p, "app", "s3cret"); err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		caps, err := restarter.GetCaps(p, 1, authz.AllOps...)
+		if err != nil {
+			t.Errorf("caps: %v", err)
+			return
+		}
+		// The dump committed; find where its manifest lives and kill that
+		// server before the restore path touches it.
+		entry, err := restarter.Lookup(p, "/ckpt-0001")
+		if err != nil {
+			out.restErr = err
+			return
+		}
+		p.Sleep(time.Duration(1+seed%5) * time.Millisecond)
+		dead := storage.TargetOf(entry.AllRefs()[0])
+		for _, srv := range l.Servers {
+			if (storage.Target{Node: srv.Node(), Port: srv.RPCPort()}) == dead {
+				srv.Crash()
+			}
+		}
+		m, err := checkpoint.Restore(p, restarter, caps, "/ckpt-0001")
+		if err != nil {
+			out.restErr = err
+			return
+		}
+		out.manifest = m
+		out.data = make([][]byte, m.Ranks)
+		for rank := 0; rank < m.Ranks; rank++ {
+			payload, err := checkpoint.RestoreRead(p, restarter, caps, m, rank)
+			if err != nil {
+				out.restErr = err
+				return
+			}
+			out.data[rank] = payload.Data
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out.mirrored = cl.Metrics().Snapshot().Sum("ckpt.manifest.mirror_reads")
+	return out
+}
+
+// TestManifestMirrorCrashBetweenDumpAndRestore is the acceptance scenario
+// for manifest mirrors: losing the manifest-hosting server after the dump
+// commits leaves a mirrored redundant checkpoint fully restorable —
+// bit-exact, through the surviving manifest mirror and degraded data reads
+// — while a single-manifest dump (MetaCopies: 1, the pre-mirror behavior)
+// fails detectably rather than restoring garbage. Honors LWFS_CHAOS_SEED.
+func TestManifestMirrorCrashBetweenDumpAndRestore(t *testing.T) {
+	seed := testrig.SeedFromEnv(5)
+
+	t.Run("single-manifest-fails-detectably", func(t *testing.T) {
+		out := runManifestChaos(t, seed,
+			&checkpoint.RedundantDump{Scheme: stripe.Replica, Width: 2, Copies: 2, MetaCopies: 1})
+		if out.res.Aborted {
+			t.Fatalf("dump aborted with no fault during the dump window")
+		}
+		if out.restErr == nil {
+			t.Fatalf("restore of a single-manifest checkpoint succeeded with its server dead")
+		}
+		t.Logf("single-manifest restore failed as it must: %v", out.restErr)
+	})
+
+	t.Run("mirrored-manifest-restores", func(t *testing.T) {
+		out := runManifestChaos(t, seed,
+			&checkpoint.RedundantDump{Scheme: stripe.Replica, Width: 2, Copies: 2})
+		if out.res.Aborted {
+			t.Fatalf("dump aborted with no fault during the dump window")
+		}
+		if out.restErr != nil {
+			t.Fatalf("mirrored restore: %v", out.restErr)
+		}
+		if out.mirrored < 1 {
+			t.Fatalf("ckpt.manifest.mirror_reads = %v — the crash missed the primary manifest", out.mirrored)
+		}
+		for rank, got := range out.data {
+			want := checkpoint.PatternFor(rank, out.manifest.BytesPerProc)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rank %d restored data differs from pattern", rank)
+			}
+		}
+	})
+}

@@ -26,6 +26,23 @@ type RedundantDump struct {
 	Copies int   // replica copies (Scheme Replica only; 0 = 2)
 	Unit   int64 // stripe unit, bytes (0 = 256 KiB)
 	Window int   // engine fan-out window (0 = 8)
+
+	// MetaCopies is how many mirrors of the v2 manifest the commit writes
+	// (0 = 2, 1 = the legacy single manifest object). Every mirror that
+	// lands is recorded in the naming entry, and Restore walks them on
+	// timeout — so losing the manifest-hosting server after the commit no
+	// longer makes an otherwise-recoverable checkpoint unrestorable.
+	MetaCopies int
+}
+
+func (r *RedundantDump) metaCopies() int {
+	if r.MetaCopies == 0 {
+		return 2
+	}
+	if r.MetaCopies < 1 {
+		return 1
+	}
+	return r.MetaCopies
 }
 
 func (r *RedundantDump) copies() int {
@@ -192,19 +209,80 @@ func redundantTail(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, 
 		}
 		return true
 	}
-	mdRef, err := writeObjectFailover(p, c, caps, h, placement,
-		netsim.BytesPayload(EncodeMetadataV2(layouts, cfg.BytesPerProc)), false, mdT)
+	mdRefs, err := writeManifestMirrors(p, c, caps, h, placement,
+		netsim.BytesPayload(EncodeMetadataV2(layouts, cfg.BytesPerProc)), cfg.Redundant.metaCopies(), mdT)
 	if err != nil {
 		panic(fmt.Sprintf("md object: %v", err))
 	}
 	for _, ep := range h.failedOrder {
 		h.tx.Delist(ep)
 	}
-	if err := c.CreateName(p, "/ckpt-0001", mdRef, h.tx); err != nil {
+	// The commit records every surviving mirror in the naming entry; a
+	// mid-commit crash of a manifest server either aborts the transaction
+	// (no manifest) or leaves an entry whose mirrors all hold the same
+	// bytes (fully restorable) — never a half-published manifest.
+	if len(mdRefs) == 1 {
+		err = c.CreateName(p, "/ckpt-0001", mdRefs[0], h.tx)
+	} else {
+		err = c.CreateNameRefs(p, "/ckpt-0001", mdRefs, h.tx)
+	}
+	if err != nil {
 		panic(fmt.Sprintf("name: %v", err))
 	}
 	if err := h.tx.Commit(p); err != nil {
 		panic(fmt.Sprintf("commit: %v", err))
 	}
 	return false
+}
+
+// writeManifestMirrors writes the manifest to up to m mirrors on distinct
+// healthy servers, walking the rotation from the placement slot. A server
+// that times out is marked failed (its copies are already being abandoned)
+// and the walk continues; the manifest replicates best-effort down to a
+// single surviving mirror, below which the dump cannot be published and the
+// caller panics exactly as the legacy single-object path did.
+func writeManifestMirrors(p *sim.Proc, c *core.Client, caps core.CapSet, h *txnHandle, placement int, payload netsim.Payload, m int, mdT *ProcTimes) ([]storage.ObjRef, error) {
+	n := len(c.Servers())
+	used := make(map[storage.Target]bool, m)
+	refs := make([]storage.ObjRef, 0, m)
+	var lastErr error
+	for i := 0; i < n && len(refs) < m; i++ {
+		tgt := c.Server(placement + i)
+		if used[tgt] || h.failed[core.TxnEndpointOf(tgt)] {
+			continue
+		}
+		t0 := p.Now()
+		var ref storage.ObjRef
+		var err error
+		if h.tx != nil {
+			ref, err = c.CreateObjectTxn(p, tgt, caps, h.tx)
+		} else {
+			ref, err = c.CreateObject(p, tgt, caps)
+		}
+		if err != nil {
+			if !errors.Is(err, portals.ErrRPCTimeout) {
+				return nil, err
+			}
+			h.markFailed(core.TxnEndpointOf(tgt))
+			lastErr = err
+			continue
+		}
+		mdT.Create += p.Now().Sub(t0)
+		t1 := p.Now()
+		if _, err := c.Write(p, ref, caps, 0, payload); err != nil {
+			if !errors.Is(err, portals.ErrRPCTimeout) {
+				return nil, err
+			}
+			h.markFailed(core.TxnEndpointOf(tgt))
+			lastErr = err
+			continue
+		}
+		mdT.Write += p.Now().Sub(t1)
+		used[tgt] = true
+		refs = append(refs, ref)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("checkpoint: no healthy server for the manifest: %w", lastErr)
+	}
+	return refs, nil
 }

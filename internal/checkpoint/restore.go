@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -150,11 +151,7 @@ func Restore(p *sim.Proc, c *core.Client, caps core.CapSet, path string) (Manife
 	if err != nil {
 		return Manifest{}, fmt.Errorf("checkpoint: resolving %s: %w", path, err)
 	}
-	st, err := c.Stat(p, entry.Ref, caps)
-	if err != nil {
-		return Manifest{}, err
-	}
-	payload, err := c.Read(p, entry.Ref, caps, 0, st.Size)
+	payload, err := readManifest(p, c, caps, entry.AllRefs())
 	if err != nil {
 		return Manifest{}, err
 	}
@@ -189,6 +186,36 @@ func Restore(p *sim.Proc, c *core.Client, caps core.CapSet, path string) (Manife
 		}
 	}
 	return m, nil
+}
+
+// readManifest reads the manifest from the first reachable mirror (a
+// mirrored redundant dump records every manifest copy in the naming entry;
+// legacy checkpoints present exactly one ref). Only ErrRPCTimeout — a dead
+// manifest server — falls through to the next mirror: every committed
+// mirror holds identical bytes, while ErrNoObject on a live server means
+// the manifest was fenced by a presumed-abort deletion and stays hard, per
+// the same classification rule lwfspfs.Open applies. A read served by a
+// non-primary mirror is counted in ckpt.manifest.mirror_reads.
+func readManifest(p *sim.Proc, c *core.Client, caps core.CapSet, refs []storage.ObjRef) (netsim.Payload, error) {
+	var lastErr error
+	for i, ref := range refs {
+		st, err := c.Stat(p, ref, caps)
+		if err == nil {
+			var payload netsim.Payload
+			payload, err = c.Read(p, ref, caps, 0, st.Size)
+			if err == nil {
+				if i > 0 {
+					c.Endpoint().Metrics().Scope("ckpt").Scope("manifest").Counter("mirror_reads").Inc()
+				}
+				return payload, nil
+			}
+		}
+		if !errors.Is(err, portals.ErrRPCTimeout) {
+			return netsim.Payload{}, err
+		}
+		lastErr = err
+	}
+	return netsim.Payload{}, fmt.Errorf("checkpoint: no manifest mirror reachable: %w", lastErr)
 }
 
 // restoreWindow bounds RestoreRead's fan-out for v2 layouts.

@@ -460,6 +460,35 @@ func (c *Client) CreateName(p *sim.Proc, path string, ref storage.ObjRef, tx *tx
 	return c.nc.Create(p, c.cred, path, ref, id)
 }
 
+// CreateNameRefs binds a path to a set of mirrored object references,
+// optionally inside a transaction. refs[0] becomes the entry's primary.
+func (c *Client) CreateNameRefs(p *sim.Proc, path string, refs []storage.ObjRef, tx *txn.Txn) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	var id txn.ID
+	if tx != nil {
+		c.EnlistNaming(tx)
+		id = tx.ID
+	}
+	return c.nc.CreateRefs(p, c.cred, path, refs, id)
+}
+
+// SetNameRefs replaces the mirror set of an existing file entry. With a
+// transaction the swap takes effect at commit; the old refs stay visible
+// until then.
+func (c *Client) SetNameRefs(p *sim.Proc, path string, refs []storage.ObjRef, tx *txn.Txn) error {
+	if c.cred.Zero() {
+		return ErrNotLoggedIn
+	}
+	var id txn.ID
+	if tx != nil {
+		c.EnlistNaming(tx)
+		id = tx.ID
+	}
+	return c.nc.SetRefs(p, c.cred, path, refs, id)
+}
+
 // Lookup resolves a path.
 func (c *Client) Lookup(p *sim.Proc, path string) (naming.Entry, error) {
 	if c.cred.Zero() {

@@ -25,12 +25,16 @@
 package lwfspfs
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"lwfs/internal/authz"
 	"lwfs/internal/core"
+	"lwfs/internal/metrics"
 	"lwfs/internal/netsim"
+	"lwfs/internal/osd"
+	"lwfs/internal/portals"
 	"lwfs/internal/sim"
 	"lwfs/internal/storage"
 	"lwfs/internal/stripe"
@@ -57,6 +61,12 @@ type Options struct {
 	// Copies is the replica count for stripe.Replica (default 2).
 	Copies int
 
+	// MetaCopies is the number of mirrors of the per-file metadata object
+	// (the layout record). It defaults to 2 under a redundant scheme and
+	// 1 under RAID-0 — mirroring the layout record of a file whose data
+	// dies with the first crash buys nothing. Persisted in the superblock.
+	MetaCopies int
+
 	// Serial selects the legacy one-RPC-per-stripe-unit transfer path
 	// instead of the coalesced parallel engine — the baseline arm of the
 	// E17 comparison. Redundant layouts always use the engine (the serial
@@ -73,6 +83,16 @@ func (o Options) withDefaults(servers int) Options {
 	}
 	if o.Scheme == stripe.Replica && o.Copies < 2 {
 		o.Copies = 2
+	}
+	if o.MetaCopies == 0 {
+		if o.Scheme == stripe.Raid0 {
+			o.MetaCopies = 1
+		} else {
+			o.MetaCopies = 2
+		}
+	}
+	if o.MetaCopies < 1 {
+		o.MetaCopies = 1
 	}
 	// Default width leaves room for the redundancy so each object of a
 	// file lands on its own server when the cluster is big enough.
@@ -112,6 +132,19 @@ type FS struct {
 	caps core.CapSet
 	opts Options
 	eng  *stripe.Engine
+
+	degradedOpens *metrics.Counter // opens served by a non-primary metadata mirror
+	mirrorsStale  *metrics.Counter // mirrors absorbed by a tolerant metadata flush
+	metaRehomed   *metrics.Counter // metadata mirrors re-homed by Rebuild
+}
+
+// initMetrics binds the metadata-redundancy instruments on the mounting
+// client's registry.
+func (fs *FS) initMetrics() {
+	mm := fs.c.Endpoint().Metrics().Scope("pfs").Scope("meta")
+	fs.degradedOpens = mm.Counter("degraded_opens")
+	fs.mirrorsStale = mm.Counter("mirrors_stale")
+	fs.metaRehomed = fs.c.Endpoint().Metrics().Scope("rebuild").Counter("meta_rehomed")
 }
 
 // Format creates a new file system rooted at rootDir: a fresh container, a
@@ -132,6 +165,7 @@ func Format(p *sim.Proc, c *core.Client, rootDir string, opts Options) (*FS, err
 	}
 	fs := &FS{c: c, root: rootDir, cid: cid, caps: caps, opts: opts,
 		eng: stripe.NewEngine(c, caps, opts.Window)}
+	fs.initMetrics()
 	// Superblock: records container and layout so another process can
 	// Mount by path alone.
 	sb, err := c.CreateObject(p, c.Server(0), caps)
@@ -147,6 +181,9 @@ func Format(p *sim.Proc, c *core.Client, rootDir string, opts Options) (*FS, err
 		content += fmt.Sprintf("scheme replica %d\n", opts.Copies)
 	case stripe.Parity:
 		content += "scheme parity\n"
+	}
+	if opts.MetaCopies > 1 {
+		content += fmt.Sprintf("meta %d\n", opts.MetaCopies)
 	}
 	if _, err := c.Write(p, sb, caps, 0, netsim.BytesPayload([]byte(content))); err != nil {
 		return nil, err
@@ -197,6 +234,7 @@ func mount(p *sim.Proc, c *core.Client, rootDir string, cid authz.ContainerID, o
 	}
 	fs.opts = opts.withDefaults(len(c.Servers()))
 	fs.eng = stripe.NewEngine(c, caps, fs.opts.Window)
+	fs.initMetrics()
 	return fs, nil
 }
 
@@ -218,6 +256,10 @@ func parseSuperblock(data []byte) (Options, bool) {
 			}
 		case line == "scheme parity":
 			opts.Scheme = stripe.Parity
+		case strings.HasPrefix(line, "meta "):
+			if _, err := fmt.Sscanf(line, "meta %d", &opts.MetaCopies); err != nil {
+				return opts, false
+			}
 		default:
 			return opts, false
 		}
@@ -270,15 +312,30 @@ func (fs *FS) List(p *sim.Proc, path string) ([]string, error) {
 const layoutWireMax = 64 << 10
 
 // File is an open file. Its persistent metadata is a stripe.Layout (data
-// objects, stripe unit, logical size) stored in the metadata object.
+// objects, stripe unit, logical size) stored in the metadata object — or,
+// under a redundant scheme, in MetaCopies mirrors of it, every one listed
+// in the naming entry.
 type File struct {
-	fs    *FS
-	path  string
-	mdRef storage.ObjRef
-	l     stripe.Layout
-	mdLen int64 // metadata object length as of the last read or flush
-	dirty bool
+	fs       *FS
+	path     string
+	mdRefs   []storage.ObjRef // metadata mirrors; [0] is the entry's primary
+	stale    []bool           // mirrors absorbed by a fault; never re-read or re-written
+	degraded bool             // Open skipped at least one unreachable mirror
+	l        stripe.Layout
+	mdLen    int64 // metadata object length as of the last read or flush
+	dirty    bool
 }
+
+// MetaRefs returns a copy of the file's metadata mirror refs ([0] is the
+// primary the naming entry advertises first). Tests and experiments use it
+// to aim faults at the server hosting a given mirror.
+func (f *File) MetaRefs() []storage.ObjRef {
+	return append([]storage.ObjRef(nil), f.mdRefs...)
+}
+
+// Degraded reports whether Open had to skip an unreachable metadata mirror
+// to read the layout record.
+func (f *File) Degraded() bool { return f.degraded }
 
 // Create makes a new file: data objects placed round-robin from a
 // path-derived starting server (a simple distribution policy; applications
@@ -302,41 +359,121 @@ func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 		}
 		l.Objs = append(l.Objs, ref)
 	}
-	mdRef, err := fs.c.CreateObjectTxn(p, fs.c.Server(base), fs.caps, tx)
-	if err != nil {
-		tx.Abort(p) //nolint:errcheck
-		return nil, err
+	var mdRefs []storage.ObjRef
+	for _, t := range fs.placeMeta(base) {
+		ref, err := fs.c.CreateObjectTxn(p, t, fs.caps, tx)
+		if err != nil {
+			tx.Abort(p) //nolint:errcheck
+			return nil, err
+		}
+		mdRefs = append(mdRefs, ref)
 	}
 	enc := l.Encode()
-	if _, err := fs.c.Write(p, mdRef, fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
-		tx.Abort(p) //nolint:errcheck
-		return nil, err
+	for _, ref := range mdRefs {
+		if _, err := fs.c.Write(p, ref, fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
+			tx.Abort(p) //nolint:errcheck
+			return nil, err
+		}
 	}
-	if err := fs.c.CreateName(p, fs.full(path), mdRef, tx); err != nil {
+	var err error
+	if len(mdRefs) == 1 {
+		// Single-record files keep the legacy naming form.
+		err = fs.c.CreateName(p, fs.full(path), mdRefs[0], tx)
+	} else {
+		err = fs.c.CreateNameRefs(p, fs.full(path), mdRefs, tx)
+	}
+	if err != nil {
 		tx.Abort(p) //nolint:errcheck
 		return nil, err
 	}
 	if err := tx.Commit(p); err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, path: path, mdRef: mdRef, l: l, mdLen: int64(len(enc))}, nil
+	return &File{fs: fs, path: path, mdRefs: mdRefs,
+		stale: make([]bool, len(mdRefs)), l: l, mdLen: int64(len(enc))}, nil
 }
 
-// Open opens an existing file.
+// placeMeta picks the servers for a file's metadata mirrors. The walk
+// starts just past the rotation slots the data objects occupy, so the
+// mirrors sit skewed from the data columns, and column 0's server — where
+// the single metadata object historically lived, the mount's last single
+// point of failure — is avoided while any other distinct server exists, so
+// a file's layout record and its first data column never share a fate
+// domain on clusters with room to spare. Mirrors land on distinct servers
+// whenever the cluster has enough of them; smaller clusters wrap.
+func (fs *FS) placeMeta(base int) []storage.Target {
+	m := fs.opts.MetaCopies
+	if m <= 1 {
+		// Legacy single-record placement: column 0's server.
+		return []storage.Target{fs.c.Server(base)}
+	}
+	n := len(fs.c.Servers())
+	col0 := fs.c.Server(base)
+	used := make(map[storage.Target]bool, m)
+	var out []storage.Target
+	for pass := 0; pass < 2 && len(out) < m; pass++ {
+		for j := 0; j < n && len(out) < m; j++ {
+			t := fs.c.Server(base + fs.opts.objectsPerFile() + j)
+			if used[t] || (pass == 0 && t == col0) {
+				continue
+			}
+			used[t] = true
+			out = append(out, t)
+		}
+	}
+	for len(out) < m { // cluster smaller than the mirror count
+		out = append(out, fs.c.Server(base+len(out)))
+	}
+	return out
+}
+
+// Open opens an existing file, reading its layout record from the first
+// reachable metadata mirror. Faults are classified before the fallback
+// lands: only ErrRPCTimeout — the fail-stop signature of a dead server —
+// falls through to the next mirror. ErrNoObject means the record was
+// fenced by a presumed-abort deletion on a live server, and a decode
+// failure (ErrBadLayout) means corruption; neither may be masked as
+// transience by reading another mirror (DESIGN.md §4.11). An open served
+// by a non-primary mirror is recorded in pfs.meta.degraded_opens.
 func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
 	e, err := fs.c.Lookup(p, fs.full(path))
 	if err != nil {
 		return nil, err
 	}
-	payload, err := fs.c.Read(p, e.Ref, fs.caps, 0, layoutWireMax)
-	if err != nil {
-		return nil, err
+	refs := e.AllRefs()
+	var lastErr error
+	for i, ref := range refs {
+		payload, err := fs.c.Read(p, ref, fs.caps, 0, layoutWireMax)
+		if err != nil {
+			switch {
+			case errors.Is(err, portals.ErrRPCTimeout):
+				lastErr = err
+				continue
+			case errors.Is(err, osd.ErrNoObject):
+				return nil, fmt.Errorf("lwfspfs: metadata object fenced: %w", err)
+			default:
+				return nil, err
+			}
+		}
+		l, err := stripe.Decode(payload.Data)
+		if err != nil {
+			return nil, err
+		}
+		f := &File{fs: fs, path: path, mdRefs: refs,
+			stale: make([]bool, len(refs)), l: l, mdLen: int64(len(payload.Data))}
+		if i > 0 {
+			f.degraded = true
+			fs.degradedOpens.Inc()
+			// The skipped mirrors are unreachable; this handle never
+			// writes to them again — once their server restarts they hold
+			// an old record and must be re-homed by Rebuild, never re-read.
+			for j := 0; j < i; j++ {
+				f.stale[j] = true
+			}
+		}
+		return f, nil
 	}
-	l, err := stripe.Decode(payload.Data)
-	if err != nil {
-		return nil, err
-	}
-	return &File{fs: fs, path: path, mdRef: e.Ref, l: l, mdLen: int64(len(payload.Data))}, nil
+	return nil, fmt.Errorf("lwfspfs: no metadata mirror of %s reachable: %w", path, lastErr)
 }
 
 // Remove unlinks a file and frees its objects.
@@ -353,7 +490,12 @@ func (fs *FS) Remove(p *sim.Proc, path string) error {
 			return err
 		}
 	}
-	return fs.c.Remove(p, f.mdRef, fs.caps)
+	for _, ref := range f.mdRefs {
+		if err := fs.c.Remove(p, ref, fs.caps); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Rebuild reconstructs path's objects hosted on the dead server onto
@@ -382,7 +524,93 @@ func (fs *FS) Rebuild(p *sim.Proc, path string, dead storage.Target, spares []st
 		return err
 	}
 	f.l = nl
+	// Metadata mirrors hosted on the dead server (and any a tolerant flush
+	// already absorbed) are re-homed in their own transaction, still under
+	// the write lock, before the repaired layout is flushed everywhere.
+	if err := f.rehomeMeta(p, dead, spares); err != nil {
+		return err
+	}
 	return f.flushMeta(p)
+}
+
+// rehomeMeta replaces every metadata mirror hosted on dead — plus any
+// mirror already marked stale — with a fresh object on a spare, topping
+// the mirror set back up to the mount's MetaCopies (a tolerant flush may
+// have demoted a mirror earlier). The replacement objects, their contents,
+// and the naming-entry swap commit in one transaction under the caller's
+// exclusive file lock: the data rebuild's fencing rule applied to
+// metadata. An aborted re-home leaves the old entry intact (SetRefs is
+// deferred to commit) and the fresh objects die with the transaction, so
+// no reader can ever resolve the path to a half-built mirror set.
+func (f *File) rehomeMeta(p *sim.Proc, dead storage.Target, spares []storage.Target) error {
+	var keep []storage.ObjRef
+	lost := 0
+	for i, ref := range f.mdRefs {
+		if storage.TargetOf(ref) == dead || f.stale[i] {
+			lost++
+			continue
+		}
+		keep = append(keep, ref)
+	}
+	want := f.fs.opts.MetaCopies
+	if want < 1 {
+		want = 1
+	}
+	need := want - len(keep)
+	if lost == 0 && need <= 0 {
+		return nil
+	}
+	if len(keep) == 0 {
+		return fmt.Errorf("lwfspfs: no live metadata mirror of %s to rebuild from: %w",
+			f.path, stripe.ErrUnrecoverable)
+	}
+	used := make(map[storage.Target]bool, len(keep))
+	for _, ref := range keep {
+		used[storage.TargetOf(ref)] = true
+	}
+	tx := f.fs.c.BeginTxn()
+	refs := append([]storage.ObjRef(nil), keep...)
+	enc := f.l.Encode()
+	// Prefer spares that host no surviving mirror; fall back to doubling up
+	// only when the cluster is too small for independence. A spare that
+	// times out is skipped — it may have died alongside dead.
+	for pass := 0; pass < 2 && need > 0; pass++ {
+		for _, t := range spares {
+			if need <= 0 {
+				break
+			}
+			if t == dead || (pass == 0 && used[t]) {
+				continue
+			}
+			ref, err := f.fs.c.CreateObjectTxn(p, t, f.fs.caps, tx)
+			if err != nil {
+				if errors.Is(err, portals.ErrRPCTimeout) {
+					continue
+				}
+				tx.Abort(p) //nolint:errcheck
+				return err
+			}
+			if _, err := f.fs.c.Write(p, ref, f.fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
+				tx.Abort(p) //nolint:errcheck
+				return err
+			}
+			used[t] = true
+			refs = append(refs, ref)
+			need--
+			f.fs.metaRehomed.Inc()
+		}
+	}
+	if err := f.fs.c.SetNameRefs(p, f.fs.full(f.path), refs, tx); err != nil {
+		tx.Abort(p) //nolint:errcheck
+		return err
+	}
+	if err := tx.Commit(p); err != nil {
+		return err
+	}
+	f.mdRefs = refs
+	f.stale = make([]bool, len(refs))
+	f.degraded = false
+	return nil
 }
 
 // Size returns the file's current size (as of open or last local write).
@@ -522,24 +750,80 @@ func (f *File) Close(p *sim.Proc) error {
 	return f.flushMeta(p)
 }
 
-// flushMeta rewrites the layout record at offset 0. Size-only updates are
-// length-monotonic, but Rebuild swaps object refs, so the new encoding can
-// be shorter than what's on disk — the metadata object is truncated in
-// that case, or the stale tail of the old encoding would make the next
-// Open's Decode fail with ErrBadLayout.
+// flushMeta rewrites the layout record at offset 0 on every live metadata
+// mirror. Size-only updates are length-monotonic, but Rebuild swaps object
+// refs, so the new encoding can be shorter than what's on disk — the
+// metadata object is truncated in that case, or the stale tail of the old
+// encoding would make the next Open's Decode fail with ErrBadLayout.
+//
+// The flush has WriteAtTolerant semantics: while more than one live mirror
+// remains, a mirror that times out is absorbed — marked stale, counted in
+// pfs.meta.mirrors_stale, and demoted from the naming entry so that no
+// later Open can be served its old record (staleness is made durable
+// before the flush succeeds). A stale mirror is never re-read or
+// re-written; Rebuild re-homes it. A non-timeout error, or the last live
+// mirror failing, stays hard.
 func (f *File) flushMeta(p *sim.Proc) error {
 	enc := f.l.Encode()
-	if _, err := f.fs.c.Write(p, f.mdRef, f.fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
-		return err
+	liveLeft := 0
+	for i := range f.mdRefs {
+		if !f.stale[i] {
+			liveLeft++
+		}
 	}
-	if int64(len(enc)) < f.mdLen {
-		if err := f.fs.c.Truncate(p, f.mdRef, f.fs.caps, int64(len(enc))); err != nil {
+	for i, ref := range f.mdRefs {
+		if f.stale[i] {
+			continue
+		}
+		err := f.writeMirror(p, ref, enc)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, portals.ErrRPCTimeout) || liveLeft == 1 {
 			return err
+		}
+		liveLeft--
+		f.stale[i] = true
+		f.fs.mirrorsStale.Inc()
+	}
+	for i := range f.mdRefs {
+		if f.stale[i] {
+			// At least one mirror is out of date (absorbed now or skipped
+			// by a degraded open): demote it from the entry so the flush's
+			// record is the only one the namespace can hand out.
+			if err := f.demoteStale(p); err != nil {
+				return err
+			}
+			break
 		}
 	}
 	f.mdLen = int64(len(enc))
 	f.dirty = false
 	return nil
+}
+
+// writeMirror writes one mirror's record, truncating the shrink case.
+func (f *File) writeMirror(p *sim.Proc, ref storage.ObjRef, enc []byte) error {
+	if _, err := f.fs.c.Write(p, ref, f.fs.caps, 0, netsim.BytesPayload(enc)); err != nil {
+		return err
+	}
+	if int64(len(enc)) < f.mdLen {
+		return f.fs.c.Truncate(p, ref, f.fs.caps, int64(len(enc)))
+	}
+	return nil
+}
+
+// demoteStale rewrites the naming entry to list only live mirrors, making
+// staleness durable: a crash right after a tolerant flush cannot leave the
+// namespace pointing at a mirror holding an old layout record.
+func (f *File) demoteStale(p *sim.Proc) error {
+	var live []storage.ObjRef
+	for i, ref := range f.mdRefs {
+		if !f.stale[i] {
+			live = append(live, ref)
+		}
+	}
+	return f.fs.c.SetNameRefs(p, f.fs.full(f.path), live, nil)
 }
 
 // pathHash spreads files' starting servers.

@@ -1,0 +1,333 @@
+package lwfspfs_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lwfs/internal/cluster"
+	"lwfs/internal/lwfspfs"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
+	"lwfs/internal/testrig"
+)
+
+// metaCluster is smallCluster with a fifth server, so that after one crash
+// and a rebuild there is still room for every column's copies and both
+// metadata mirrors to sit on distinct servers.
+func metaCluster() (*cluster.Cluster, *cluster.LWFS) {
+	spec := cluster.DevCluster()
+	spec.ComputeNodes = 4
+	spec.ServersPerNode = 1
+	spec = spec.WithServers(5)
+	cl := cluster.New(spec)
+	cl.RegisterUser("alice", "pa")
+	return cl, cl.DeployLWFS()
+}
+
+// crashTarget kills the storage server serving the given target.
+func crashTarget(l *cluster.LWFS, dead storage.Target) {
+	for _, srv := range l.Servers {
+		if (storage.Target{Node: srv.Node(), Port: srv.RPCPort()}) == dead {
+			srv.Crash()
+		}
+	}
+}
+
+// TestMetaMirrorCrashMidWorkload is the acceptance scenario for replicated
+// metadata: the server hosting a redundant file's primary metadata mirror
+// crashes mid-workload (at a seed-shifted instant, never restarted). The
+// mount must stay openable and bit-exact via mirror fallback, FS.Rebuild
+// must re-home the lost mirror, and a second, different server crash must
+// also be survivable. Honors LWFS_CHAOS_SEED for the CI seed matrix.
+func TestMetaMirrorCrashMidWorkload(t *testing.T) {
+	seed := testrig.SeedFromEnv(7)
+	cl, l := metaCluster()
+	c := cl.NewClient(l, 0)
+	c.SetRetry(pfsRetry, 31+seed)
+
+	const fileSize = 512 << 10
+	data := make([]byte, fileSize)
+	rand.New(rand.NewSource(seed)).Read(data)
+
+	// The chaos process learns the victim from the workload (placement is
+	// path-derived) and fires at a seed-shifted instant mid-write-loop.
+	victim := sim.NewMailbox(cl.K, "meta-chaos/victim")
+	crashed := sim.NewMailbox(cl.K, "meta-chaos/crashed")
+	cl.Spawn("chaos", func(p *sim.Proc) {
+		dead := victim.Recv(p).(storage.Target)
+		p.Sleep(time.Duration(2+seed%7) * time.Millisecond)
+		crashTarget(l, dead)
+		crashed.Send(dead)
+	})
+
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol0",
+			lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Replica, Copies: 2})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		f, err := fs.Create(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		refs := f.MetaRefs()
+		if len(refs) < 2 {
+			t.Fatalf("redundant file created with %d metadata mirrors", len(refs))
+		}
+		dead := storage.TargetOf(refs[0])
+		victim.Send(dead)
+
+		// Size-growing writes: every chunk extends the file, so each one
+		// flushes the layout record to all mirrors — when the crash lands,
+		// the flush absorbs the dead mirror instead of failing the write.
+		const chunk = 64 << 10
+		for off := 0; off < fileSize; off += chunk {
+			if _, err := f.WriteAt(p, int64(off), payloadOf(data[off:off+chunk])); err != nil {
+				t.Fatalf("write at %d: %v", off, err)
+			}
+		}
+		if err := f.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		deadT := crashed.Recv(p).(storage.Target)
+
+		// The file must stay openable and bit-exact with the metadata
+		// primary's server gone.
+		g, err := fs.Open(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("open after crash: %v", err)
+		}
+		got, err := g.ReadAt(p, 0, fileSize)
+		if err != nil || !bytes.Equal(got.Data, data) {
+			t.Fatalf("post-crash read mismatch: %v", err)
+		}
+
+		// Rebuild re-homes the lost mirror (and any data objects) so the
+		// mirror count is back at MetaCopies with nothing on the dead server.
+		if err := fs.Rebuild(p, "/data.bin", deadT, nil); err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		g2, err := fs.Open(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("open after rebuild: %v", err)
+		}
+		if g2.Degraded() {
+			t.Fatalf("open still degraded after rebuild")
+		}
+		refs2 := g2.MetaRefs()
+		if len(refs2) < 2 {
+			t.Fatalf("rebuild left %d metadata mirrors, want >= 2", len(refs2))
+		}
+		for _, r := range refs2 {
+			if storage.TargetOf(r) == deadT {
+				t.Fatalf("rebuilt mirror set still references dead server: %v", refs2)
+			}
+		}
+
+		// Second, different server crash — this time the repaired primary's
+		// host. The fallback must serve the open (a degraded open) and the
+		// data must still read bit-exact through the redundant layout.
+		second := storage.TargetOf(refs2[0])
+		if second == deadT {
+			t.Fatalf("rebuild reused the dead server")
+		}
+		crashTarget(l, second)
+		g3, err := fs.Open(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("open after second crash: %v", err)
+		}
+		if !g3.Degraded() {
+			t.Fatalf("second-crash open did not report degraded")
+		}
+		got, err = g3.ReadAt(p, 0, fileSize)
+		if err != nil || !bytes.Equal(got.Data, data) {
+			t.Fatalf("second-crash read mismatch: %v", err)
+		}
+	})
+	run(t, cl)
+
+	snap := cl.Metrics().Snapshot()
+	if n := snap.Sum("pfs.meta.degraded_opens"); n < 1 {
+		t.Errorf("pfs.meta.degraded_opens = %v, want >= 1", n)
+	}
+	if n := snap.Sum("rebuild.meta_rehomed"); n < 1 {
+		t.Errorf("rebuild.meta_rehomed = %v, want >= 1", n)
+	}
+}
+
+// TestMetaCrashRaid0FailsDetectably is the control arm: a RAID-0 mount has
+// a single layout record (MetaCopies defaults to 1 — mirroring metadata of
+// a file whose data cannot survive the crash buys nothing), so losing its
+// server makes Open fail with the dead server's timeout, not silently
+// return stale state.
+func TestMetaCrashRaid0FailsDetectably(t *testing.T) {
+	seed := testrig.SeedFromEnv(7)
+	cl, l := metaCluster()
+	c := cl.NewClient(l, 0)
+	c.SetRetry(pfsRetry, 47+seed)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol0", lwfspfs.Options{StripeUnit: 64 << 10})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		f, err := fs.Create(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := f.WriteAt(p, 0, synthetic(256<<10)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		refs := f.MetaRefs()
+		if len(refs) != 1 {
+			t.Fatalf("raid0 file has %d metadata mirrors, want 1", len(refs))
+		}
+		crashTarget(l, storage.TargetOf(refs[0]))
+		if _, err := fs.Open(p, "/data.bin"); !errors.Is(err, portals.ErrRPCTimeout) {
+			t.Fatalf("raid0 open after metadata-server crash: %v, want timeout", err)
+		}
+	})
+	run(t, cl)
+}
+
+// Metadata mirrors must sit skewed from the data columns: distinct servers
+// for each mirror, and never column 0's server (the historical single
+// metadata object's home) while the cluster has any other choice.
+func TestMetaMirrorPlacementSkew(t *testing.T) {
+	cl, l := metaCluster()
+	c := cl.NewClient(l, 0)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol0",
+			lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Replica, Copies: 2})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		for _, path := range []string{"/a.bin", "/b.bin", "/c.bin"} {
+			f, err := fs.Create(p, path)
+			if err != nil {
+				t.Fatalf("create %s: %v", path, err)
+			}
+			col0 := storage.TargetOf(f.Layout().Objs[0])
+			refs := f.MetaRefs()
+			seen := map[storage.Target]bool{}
+			for _, r := range refs {
+				tgt := storage.TargetOf(r)
+				if tgt == col0 {
+					t.Errorf("%s: mirror shares column 0's server %v", path, tgt)
+				}
+				if seen[tgt] {
+					t.Errorf("%s: two mirrors on %v", path, tgt)
+				}
+				seen[tgt] = true
+			}
+		}
+	})
+	run(t, cl)
+}
+
+// A flush that loses a non-primary mirror absorbs the fault: the write
+// succeeds, the mirror is counted stale, and — crucially — it is demoted
+// from the naming entry, so no later Open can be served its old record.
+func TestMetaFlushAbsorbsDeadMirrorAndDemotes(t *testing.T) {
+	cl, l := metaCluster()
+	c := cl.NewClient(l, 0)
+	c.SetRetry(pfsRetry, 61)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol0",
+			lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Replica, Copies: 2})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		f, err := fs.Create(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := f.WriteAt(p, 0, synthetic(128<<10)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		refs := f.MetaRefs()
+		deadRef := refs[1]
+		crashTarget(l, storage.TargetOf(deadRef))
+		// Growing write → flushMeta: the dead mirror must be absorbed, not
+		// fail the write.
+		if _, err := f.WriteAt(p, 128<<10, synthetic(64<<10)); err != nil {
+			t.Fatalf("write with dead mirror: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// Demotion is durable in the namespace.
+		e, err := c.Lookup(p, "/vol0/data.bin")
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		for _, r := range e.AllRefs() {
+			if r == deadRef {
+				t.Fatalf("stale mirror still listed in naming entry: %v", e.AllRefs())
+			}
+		}
+		// And the file reopens clean off the surviving mirror.
+		g, err := fs.Open(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if g.Degraded() {
+			t.Errorf("open degraded despite demotion")
+		}
+		if g.Size() != 192<<10 {
+			t.Errorf("size = %d, want %d", g.Size(), 192<<10)
+		}
+	})
+	run(t, cl)
+	if n := cl.Metrics().Snapshot().Sum("pfs.meta.mirrors_stale"); n < 1 {
+		t.Errorf("pfs.meta.mirrors_stale = %v, want >= 1", n)
+	}
+}
+
+// MetaCopies persists in the superblock: a fresh Mount sees the formatted
+// value and creates files with that many mirrors.
+func TestMetaCopiesPersistAcrossMount(t *testing.T) {
+	cl, l := metaCluster()
+	c := cl.NewClient(l, 0)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		fs, err := lwfspfs.Format(p, c, "/vol0",
+			lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Replica, Copies: 2, MetaCopies: 3})
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		m, err := lwfspfs.Mount(p, c, "/vol0", fs.Container())
+		if err != nil {
+			t.Fatalf("mount: %v", err)
+		}
+		f, err := m.Create(p, "/data.bin")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if got := len(f.MetaRefs()); got != 3 {
+			t.Fatalf("mounted fs created %d metadata mirrors, want 3", got)
+		}
+	})
+	run(t, cl)
+}

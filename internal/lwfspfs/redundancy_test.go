@@ -58,9 +58,9 @@ func TestRedundantFileSurvivesServerCrash(t *testing.T) {
 				}
 
 				// Kill the server holding the file's second data object.
-				// (Column 0's server also hosts the metadata object, which
-				// is not redundant — lwfspfs's remaining single point of
-				// failure, see DESIGN §4.9.)
+				// (The metadata record is mirrored off the data columns —
+				// DESIGN §4.11 — so even if this server hosts a mirror,
+				// Open falls back to a surviving one.)
 				dead := storage.TargetOf(f.Layout().Objs[1])
 				for _, srv := range l.Servers {
 					if (storage.Target{Node: srv.Node(), Port: srv.RPCPort()}) == dead {

@@ -31,12 +31,28 @@ const Portal portals.Index = 12
 // TxnPortal is where the naming service's transaction participant listens.
 const TxnPortal portals.Index = 13
 
-// Entry is one namespace entry.
+// Entry is one namespace entry. A file entry normally points at a single
+// metadata object (Ref); entries created through CreateRefs carry the full
+// mirror set in Refs, with Ref doubling as the primary (Refs[0]) so that
+// single-ref consumers decode multi-ref entries unchanged.
 type Entry struct {
 	Path  string
 	IsDir bool
-	Ref   storage.ObjRef // zero for directories
+	Ref   storage.ObjRef   // zero for directories; primary mirror otherwise
+	Refs  []storage.ObjRef // all mirrors; nil for single-ref entries
 	Owner authn.Principal
+}
+
+// AllRefs returns every object reference the entry points at: Refs when the
+// entry carries mirrors, else the single Ref (or nothing for directories).
+func (e Entry) AllRefs() []storage.ObjRef {
+	if len(e.Refs) > 0 {
+		return e.Refs
+	}
+	if e.Ref == (storage.ObjRef{}) {
+		return nil
+	}
+	return []storage.ObjRef{e.Ref}
 }
 
 // Errors reported by the service.
@@ -79,7 +95,7 @@ type Service struct {
 
 	credCache map[[32]byte]credEntry
 
-	lookups, creates, removes *metrics.Counter
+	lookups, creates, removes, setrefs *metrics.Counter
 }
 
 type credEntry struct {
@@ -98,6 +114,14 @@ type createReq struct {
 	Cred authn.Credential
 	Path string
 	Ref  storage.ObjRef
+	Refs []storage.ObjRef // optional mirror set; Ref must equal Refs[0]
+	Txn  txn.ID
+}
+
+type setRefsReq struct {
+	Cred authn.Credential
+	Path string
+	Refs []storage.ObjRef
 	Txn  txn.ID
 }
 
@@ -138,6 +162,7 @@ func Start(ep *portals.Endpoint, ac *authn.Client, part *txn.Participant, cfg Co
 	s.lookups = nm.Counter("lookups")
 	s.creates = nm.Counter("creates")
 	s.removes = nm.Counter("removes")
+	s.setrefs = nm.Counter("setrefs")
 	portals.Serve(ep, Portal, "naming", 2, s.handle)
 	return s
 }
@@ -212,7 +237,7 @@ func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inte
 			return nil, err
 		}
 		s.creates.Inc()
-		nd, err := s.insert(r.Path, Entry{Ref: r.Ref, Owner: user}, r.Txn)
+		nd, err := s.insert(r.Path, Entry{Ref: r.Ref, Refs: r.Refs, Owner: user}, r.Txn)
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +248,43 @@ func (s *Service) handle(p *sim.Proc, from netsim.NodeID, req interface{}) (inte
 			s.part.OnCommit(r.Txn, func(q *sim.Proc) { nd.pending = false })
 			s.part.OnAbort(r.Txn, func(q *sim.Proc) { s.unlink(nd.entry.Path) })
 		}
+		return nil, nil
+
+	case setRefsReq:
+		user, err := s.principal(p, r.Cred)
+		if err != nil {
+			return nil, err
+		}
+		s.setrefs.Inc()
+		nd, err := s.walk(gopath.Clean(r.Path))
+		if err != nil {
+			return nil, err
+		}
+		if nd.entry.IsDir {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, r.Path)
+		}
+		if nd.entry.Owner != user {
+			return nil, ErrNotOwner
+		}
+		if len(r.Refs) == 0 {
+			return nil, fmt.Errorf("%w: empty ref set for %s", ErrBadPath, r.Path)
+		}
+		refs := append([]storage.ObjRef(nil), r.Refs...)
+		if r.Txn != 0 && s.part != nil {
+			// The old refs stay visible until the transaction commits, so
+			// an aborted re-home never dangles the entry at objects the
+			// abort is about to delete.
+			if err := s.part.Log(p, txn.JournalRecord{Txn: r.Txn, Kind: "setrefs", Detail: nd.entry.Path}); err != nil {
+				return nil, err
+			}
+			s.part.OnCommit(r.Txn, func(q *sim.Proc) {
+				nd.entry.Ref = refs[0]
+				nd.entry.Refs = refs
+			})
+			return nil, nil
+		}
+		nd.entry.Ref = refs[0]
+		nd.entry.Refs = refs
 		return nil, nil
 
 	case lookupReq:
@@ -407,6 +469,30 @@ func (c *Client) Mkdir(p *sim.Proc, cred authn.Credential, path string) error {
 func (c *Client) Create(p *sim.Proc, cred authn.Credential, path string, ref storage.ObjRef, id txn.ID) error {
 	_, err := c.caller.Call(p, c.server, Portal,
 		createReq{Cred: cred, Path: path, Ref: ref, Txn: id}, pathSize(path)+64, 16)
+	return err
+}
+
+// CreateRefs binds path to a set of mirrored object references. The first
+// ref becomes the entry's primary; Lookup returns all of them via
+// Entry.AllRefs. Semantics otherwise match Create.
+func (c *Client) CreateRefs(p *sim.Proc, cred authn.Credential, path string, refs []storage.ObjRef, id txn.ID) error {
+	if len(refs) == 0 {
+		return fmt.Errorf("%w: empty ref set for %s", ErrBadPath, path)
+	}
+	_, err := c.caller.Call(p, c.server, Portal,
+		createReq{Cred: cred, Path: path, Ref: refs[0], Refs: refs, Txn: id},
+		pathSize(path)+64*int64(len(refs)), 16)
+	return err
+}
+
+// SetRefs replaces the mirror set of an existing file entry. With id != 0
+// the swap is deferred to transaction commit — the old refs stay visible
+// until then — which is how Rebuild re-homes a metadata mirror atomically
+// with writing its replacement. Only the entry owner may change refs.
+func (c *Client) SetRefs(p *sim.Proc, cred authn.Credential, path string, refs []storage.ObjRef, id txn.ID) error {
+	_, err := c.caller.Call(p, c.server, Portal,
+		setRefsReq{Cred: cred, Path: path, Refs: refs, Txn: id},
+		pathSize(path)+64*int64(len(refs)), 16)
 	return err
 }
 

@@ -359,3 +359,132 @@ func TestNamespaceConsistencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMultiRefCreateLookupRoundTrip(t *testing.T) {
+	r := testrig.New(3)
+	bootNaming(r)
+	nc := naming.NewClient(r.Caller(2), r.Eps[1].Node())
+	r.Go("client", func(p *sim.Proc) {
+		cred := login(t, p, r, 2)
+		refs := []storage.ObjRef{ref(1), ref(2), ref(3)}
+		if err := nc.CreateRefs(p, cred, "/mirrored", refs, 0); err != nil {
+			t.Fatalf("createrefs: %v", err)
+		}
+		e, err := nc.Lookup(p, cred, "/mirrored")
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		// The primary stays the first mirror, so single-ref consumers see a
+		// normal entry; AllRefs exposes the full set.
+		if e.Ref != refs[0] {
+			t.Errorf("primary = %+v, want %+v", e.Ref, refs[0])
+		}
+		if !reflect.DeepEqual(e.AllRefs(), refs) {
+			t.Errorf("AllRefs = %v, want %v", e.AllRefs(), refs)
+		}
+		// A legacy single-ref entry reports exactly one ref via AllRefs.
+		if err := nc.Create(p, cred, "/single", ref(9), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		se, err := nc.Lookup(p, cred, "/single")
+		if err != nil {
+			t.Fatalf("lookup single: %v", err)
+		}
+		if !reflect.DeepEqual(se.AllRefs(), []storage.ObjRef{ref(9)}) {
+			t.Errorf("single AllRefs = %v", se.AllRefs())
+		}
+		// Empty mirror sets are rejected client-side.
+		if err := nc.CreateRefs(p, cred, "/empty", nil, 0); !errors.Is(err, naming.ErrBadPath) {
+			t.Errorf("empty refs: %v", err)
+		}
+	})
+	r.Run(t)
+}
+
+func TestSetRefsImmediateAndOwnership(t *testing.T) {
+	r := testrig.New(4)
+	bootNaming(r)
+	nc2 := naming.NewClient(r.Caller(2), r.Eps[1].Node())
+	nc3 := naming.NewClient(r.Caller(3), r.Eps[1].Node())
+	done := sim.NewMailbox(r.K, "done")
+	r.Go("alice", func(p *sim.Proc) {
+		cred := login(t, p, r, 2)
+		if err := nc2.Create(p, cred, "/f", ref(1), 0); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		next := []storage.ObjRef{ref(4), ref(5)}
+		if err := nc2.SetRefs(p, cred, "/f", next, 0); err != nil {
+			t.Fatalf("setrefs: %v", err)
+		}
+		e, err := nc2.Lookup(p, cred, "/f")
+		if err != nil || !reflect.DeepEqual(e.AllRefs(), next) || e.Ref != ref(4) {
+			t.Fatalf("after setrefs: %+v %v", e, err)
+		}
+		// Directories and missing entries are rejected.
+		nc2.Mkdir(p, cred, "/d")
+		if err := nc2.SetRefs(p, cred, "/d", next, 0); !errors.Is(err, naming.ErrIsDir) {
+			t.Errorf("setrefs on dir: %v", err)
+		}
+		if err := nc2.SetRefs(p, cred, "/missing", next, 0); !errors.Is(err, naming.ErrNotFound) {
+			t.Errorf("setrefs missing: %v", err)
+		}
+		done.Send("ok")
+	})
+	r.Go("bob", func(p *sim.Proc) {
+		done.Recv(p)
+		cred, err := r.AuthnClient(3).Login(p, "bob", testrig.Secret("bob"))
+		if err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		if err := nc3.SetRefs(p, cred, "/f", []storage.ObjRef{ref(8)}, 0); !errors.Is(err, naming.ErrNotOwner) {
+			t.Errorf("setrefs by non-owner: %v", err)
+		}
+	})
+	r.Run(t)
+}
+
+func TestTransactionalSetRefsVisibility(t *testing.T) {
+	r := testrig.New(3)
+	bootNaming(r)
+	nc := naming.NewClient(r.Caller(2), r.Eps[1].Node())
+	co := txn.NewCoordinator(r.Caller(2))
+	r.Go("client", func(p *sim.Proc) {
+		cred := login(t, p, r, 2)
+		old := []storage.ObjRef{ref(1), ref(2)}
+		if err := nc.CreateRefs(p, cred, "/f", old, 0); err != nil {
+			t.Fatalf("createrefs: %v", err)
+		}
+		// Aborted transaction: the old mirror set survives untouched.
+		tx := co.Begin()
+		tx.Enlist(nc.TxnEndpoint())
+		if err := nc.SetRefs(p, cred, "/f", []storage.ObjRef{ref(7)}, tx.ID); err != nil {
+			t.Fatalf("txn setrefs: %v", err)
+		}
+		e, _ := nc.Lookup(p, cred, "/f")
+		if !reflect.DeepEqual(e.AllRefs(), old) {
+			t.Errorf("refs changed before commit: %v", e.AllRefs())
+		}
+		if err := tx.Abort(p); err != nil {
+			t.Fatalf("abort: %v", err)
+		}
+		e, _ = nc.Lookup(p, cred, "/f")
+		if !reflect.DeepEqual(e.AllRefs(), old) {
+			t.Errorf("refs changed by aborted txn: %v", e.AllRefs())
+		}
+		// Committed transaction: the swap lands atomically at commit.
+		next := []storage.ObjRef{ref(3), ref(4)}
+		tx2 := co.Begin()
+		tx2.Enlist(nc.TxnEndpoint())
+		if err := nc.SetRefs(p, cred, "/f", next, tx2.ID); err != nil {
+			t.Fatalf("txn setrefs 2: %v", err)
+		}
+		if err := tx2.Commit(p); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		e, _ = nc.Lookup(p, cred, "/f")
+		if !reflect.DeepEqual(e.AllRefs(), next) || e.Ref != ref(3) {
+			t.Errorf("refs after commit: %+v", e)
+		}
+	})
+	r.Run(t)
+}
