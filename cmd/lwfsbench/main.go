@@ -14,6 +14,8 @@
 //	lwfsbench -experiment rebuild           # redundancy cost, degraded reads, rebuild
 //	lwfsbench -experiment qos               # multi-tenant fair-share and breaker sweep
 //	lwfsbench -experiment meta              # replicated-metadata cost and availability
+//	lwfsbench -experiment redstorm          # E22: sampled 100k-rank Red Storm burst sweep
+//	lwfsbench -experiment ckptinterval      # E23: apparent vs durable dump time -> affordable interval
 //	lwfsbench -experiment all
 //
 // The -metrics flag appends per-sweep-point registry snapshot deltas (RPC
@@ -44,7 +46,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|meta|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|meta|redstorm|ckptinterval|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -291,6 +293,45 @@ func main() {
 			qo.Trials = 1
 		}
 		res, err := figures.QoSSweep(qo)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
+		return nil
+	})
+
+	run("redstorm", func() error {
+		ro := figures.RedStormOpts{Progress: progress, Metrics: *metrics}
+		if *quick {
+			// The acceptance point is the 10k-exact sweep top; quick mode
+			// keeps it and drops the intermediate points.
+			ro.Exact = []int{1000, 10000}
+		}
+		if *clients != "" {
+			ro.Exact = parseInts(*clients)
+		}
+		if *bytesMB != 0 {
+			ro.BytesPerProc = *bytesMB << 20
+		}
+		res, err := figures.RedStormSweep(ro)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
+		return nil
+	})
+
+	run("ckptinterval", func() error {
+		co := figures.CkptIntervalOpts{Progress: progress, Metrics: *metrics}
+		if *quick {
+			co.Procs = 1000
+		}
+		if *bytesMB != 0 {
+			co.BytesPerProc = *bytesMB << 20
+		}
+		res, err := figures.CkptIntervalRun(co)
 		if err != nil {
 			return err
 		}

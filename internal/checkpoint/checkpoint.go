@@ -80,6 +80,15 @@ type Config struct {
 	// dumps go straight at the storage servers; combining with Burst is
 	// not supported.
 	Redundant *RedundantDump
+	// Sampled, when non-nil, scales the run to a machine-size job without
+	// simulating every rank: the Procs exact ranks above run the full
+	// protocol while the remaining Sampled.TotalRanks-Procs ranks are
+	// modeled as calibrated synthetic load injected into the same storage
+	// (and burst) ingress paths — real NIC serialization, real disk
+	// contention, aggregate sources standing in for rank NICs. Deploy the
+	// load with DeploySampled (or use RunSampled); see sampled.go for the
+	// model and its error bound.
+	Sampled *SampledRanks
 	// RecoveryTimeout, when positive, makes the commit tail ride out a
 	// buffer crash instead of aborting at the first drain-wait timeout:
 	// rank 0 keeps re-issuing DrainWait against the buffer (which, if

@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"lwfs/internal/sim"
+)
+
+// TestSendZeroAlloc guards the pooled delivery pipeline: a steady-state
+// Send of a synthetic payload (the unit of every chunk, ack and RPC header
+// at link level) must not allocate — the xfer record, its three stage
+// closures, and the kernel events must all be pool hits.
+func TestSendZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	net, a, b := twoNodeNet(k, 100*mb, 10*time.Microsecond)
+	delivered := 0
+	b.SetHandler(func(m Message) { delivered++ })
+	// Warm the xfer pool and the kernel's event arena.
+	for i := 0; i < 64; i++ {
+		net.Send(Message{From: a.ID, To: b.ID, Size: 4096})
+	}
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		net.Send(Message{From: a.ID, To: b.ID, Size: 4096})
+		if err := k.Run(sim.MaxTime); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Send allocates %.1f objects/op, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("no messages delivered")
+	}
+}
+
+// BenchmarkSend measures the wall-clock cost of one fully delivered
+// link-level message: egress serialization, fabric latency, ingress
+// serialization, handler dispatch.
+func BenchmarkSend(b *testing.B) {
+	k := sim.NewKernel()
+	net, src, dst := twoNodeNet(k, 6000*mb, 2*time.Microsecond)
+	delivered := 0
+	dst.SetHandler(func(m Message) { delivered++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(Message{From: src.ID, To: dst.ID, Size: 1 << 20})
+		if err := k.Run(sim.MaxTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}

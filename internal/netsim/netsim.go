@@ -91,6 +91,62 @@ type Network struct {
 	rng     *sim.Rand
 	reg     *metrics.Registry
 	dropped *metrics.Counter
+	pool    *xfer // free list of delivery-pipeline records
+}
+
+// xfer is one in-flight message's delivery pipeline. The three stage
+// callbacks (egress done → fabric latency done → ingress done) are bound
+// once when the record is first allocated and the record is recycled
+// through Network.pool, so a steady-state Send performs no allocation —
+// previously every message allocated three nested closures, at link level
+// one set per chunk, ack, and RPC header. The kernel is single-threaded, so
+// a plain free list is safe and deterministic.
+type xfer struct {
+	n      *Network
+	m      Message
+	dst    *Node
+	extra  time.Duration // fault-injected extra latency
+	next   *xfer         // free-list link
+	stage1 func()        // pre-bound: egress serialization complete
+	stage2 func()        // pre-bound: fabric latency elapsed
+	stage3 func()        // pre-bound: ingress serialization complete
+}
+
+func (n *Network) allocXfer() *xfer {
+	t := n.pool
+	if t == nil {
+		t = &xfer{n: n}
+		t.stage1 = t.egressDone
+		t.stage2 = t.latencyDone
+		t.stage3 = t.ingressDone
+		return t
+	}
+	n.pool = t.next
+	t.next = nil
+	return t
+}
+
+func (t *xfer) egressDone() { t.n.k.After(t.n.latency+t.extra, t.stage2) }
+
+func (t *xfer) latencyDone() {
+	d := t.dst
+	d.ingress.Schedule(sim.Rate(t.m.Size, d.cfg.IngressBW)+d.cfg.SWOverhead, t.stage3)
+}
+
+func (t *xfer) ingressDone() {
+	n, d, m := t.n, t.dst, t.m
+	// Release before invoking the handler: the handler may send again and
+	// reuse this record immediately.
+	t.m = Message{} // drop the Body reference
+	t.dst = nil
+	t.next = n.pool
+	n.pool = t
+	d.received.Inc()
+	d.bytesReceived.Add(m.Size)
+	n.traceMsg(m, "rx")
+	if d.handler != nil {
+		d.handler(m)
+	}
 }
 
 // SetFault installs an ad-hoc fault injector consulted for every message at
@@ -120,9 +176,16 @@ func (n *Network) traceMsg(m Message, event string) {
 	}
 }
 
-// New creates an empty network with the given fabric latency.
+// New creates an empty network with the given fabric latency. The network's
+// registry also exposes the kernel's event-queue health under `sim.*`:
+// events scheduled/dispatched, canceled timeouts awaiting compaction
+// (events_canceled), and the event-arena high-water mark (event_pool).
 func New(k *sim.Kernel, latency time.Duration) *Network {
 	reg := metrics.NewRegistry(k.Now)
+	reg.GaugeFunc("sim.events_scheduled", func() int64 { return int64(k.EventsScheduled()) })
+	reg.GaugeFunc("sim.events_dispatched", func() int64 { return int64(k.EventsDispatched()) })
+	reg.GaugeFunc("sim.events_canceled", func() int64 { return int64(k.EventsCanceled()) })
+	reg.GaugeFunc("sim.event_pool", func() int64 { return int64(k.EventPoolSize()) })
 	return &Network{k: k, latency: latency, reg: reg, dropped: reg.Counter("net.dropped")}
 }
 
@@ -205,18 +268,9 @@ func (n *Network) Send(m Message) {
 	src.sent.Inc()
 	src.bytesSent.Add(m.Size)
 	n.traceMsg(m, "tx")
-	src.egress.Schedule(sim.Rate(m.Size, src.cfg.EgressBW), func() {
-		n.k.After(n.latency+extra, func() {
-			dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
-				dst.received.Inc()
-				dst.bytesReceived.Add(m.Size)
-				n.traceMsg(m, "rx")
-				if dst.handler != nil {
-					dst.handler(m)
-				}
-			})
-		})
-	})
+	t := n.allocXfer()
+	t.m, t.dst, t.extra = m, dst, extra
+	src.egress.Schedule(sim.Rate(m.Size, src.cfg.EgressBW), t.stage1)
 }
 
 // SendWait is Send, but the calling process blocks until the message has
@@ -239,14 +293,7 @@ func (n *Network) SendWait(p *sim.Proc, m Message) {
 	n.traceMsg(m, "tx")
 	// Block for our egress slot, then launch the rest of the pipeline.
 	src.egress.Wait(p, sim.Rate(m.Size, src.cfg.EgressBW))
-	n.k.After(n.latency+extra, func() {
-		dst.ingress.Schedule(sim.Rate(m.Size, dst.cfg.IngressBW)+dst.cfg.SWOverhead, func() {
-			dst.received.Inc()
-			dst.bytesReceived.Add(m.Size)
-			n.traceMsg(m, "rx")
-			if dst.handler != nil {
-				dst.handler(m)
-			}
-		})
-	})
+	t := n.allocXfer()
+	t.m, t.dst, t.extra = m, dst, extra
+	t.egressDone()
 }

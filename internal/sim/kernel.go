@@ -11,10 +11,31 @@
 // the network model (internal/netsim), the Portals messaging layer
 // (internal/portals), storage devices (internal/osd) and all LWFS and PFS
 // services are simulated processes exchanging events through it.
+//
+// # Scalability (DESIGN.md §4.12)
+//
+// The kernel is built to carry tens of thousands of simulated processes and
+// tens of millions of events per run:
+//
+//   - Pending events live in a typed 4-ary min-heap of value structs
+//     (heapEntry carries no pointers, so the GC never scans the queue) keyed
+//     by (instant, seq); seq breaks ties so runs stay reproducible.
+//   - Event bodies (callback, process) live in a slot arena recycled through
+//     a free list: steady-state scheduling performs no allocation.
+//   - Events scheduled at the current instant — every unpark, Yield, and
+//     At(now) — bypass the heap through a FIFO ring; the seq comparison
+//     against the heap top preserves global submission order exactly.
+//   - Canceled timeouts (afterCancelable) release their arena slot
+//     immediately and leave a lazily-deleted heap entry behind; when
+//     tombstones outnumber half the heap they are compacted away in one
+//     filter+heapify pass.
+//   - The dispatch loop itself migrates between goroutines: a parking
+//     process runs the loop inline and hands control directly to the next
+//     runnable process (one channel handoff per switch instead of a
+//     round-trip through a central scheduler goroutine).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -43,55 +64,98 @@ func (t Time) String() string { return time.Duration(t).String() }
 // MaxTime is the largest representable instant.
 const MaxTime = Time(math.MaxInt64)
 
-// event is a scheduled callback. Events with equal instants fire in the
-// order they were scheduled (seq breaks ties), which keeps runs reproducible.
-type event struct {
-	at   Time
+// Event kinds. A dispatched event either runs a plain callback in kernel
+// context (evFn), resumes a parked process (evResume), or starts a freshly
+// spawned one (evStart).
+const (
+	evFn uint8 = iota
+	evResume
+	evStart
+)
+
+// eventSlot is the arena-resident body of a pending heap event. Slots are
+// recycled through an intrusive free list; gen increments on every release
+// so stale heap entries and cancel handles can detect reuse.
+type eventSlot struct {
+	fn   func()
+	proc *Proc
+	gen  uint64
+	next int32 // free-list link
+	kind uint8
+}
+
+// heapEntry is one element of the pending-event priority queue. It is a
+// pure value — no pointers — so the queue costs the garbage collector
+// nothing to scan. Entries whose gen no longer matches their slot are
+// tombstones of canceled or fired events and are skipped on pop.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	gen uint64
+	id  int32
+}
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// ringEntry is a same-instant event: it fires at the current virtual time,
+// so it never enters the heap and cannot be canceled.
+type ringEntry struct {
 	seq  uint64
 	fn   func()
-	canc *bool // optional cancellation flag; skipped when *canc is true
+	proc *Proc
+	kind uint8
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// cancelHandle identifies a cancelable heap event without allocating a
+// closure. The zero... an id of -1 means "nothing to cancel".
+type cancelHandle struct {
+	gen uint64
+	id  int32
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not
 // usable; call NewKernel.
 type Kernel struct {
-	now            Time
-	events         eventHeap
-	seq            uint64
+	now   Time
+	limit Time
+	seq   uint64
+
+	// Pending events: heap + arena for future instants, ring for "now".
+	slots []eventSlot
+	free  int32 // free-list head, -1 when empty
+	heap  []heapEntry
+	tombs int // canceled entries still lingering in heap
+
+	ring  []ringEntry
+	rhead int
+	rlen  int
+
 	procs          map[*Proc]struct{}
 	blocked        int // processes parked waiting for an event
 	blockedDaemons int // of those, daemons (exempt from deadlock detection)
-	done           chan struct{}
-	failure        error
-	stopped        bool
-	tracef         func(format string, args ...interface{})
+
+	// driver wakes the Run caller when the dispatch loop winds down while a
+	// process goroutine holds it.
+	driver  chan struct{}
+	failure error
+	tracef  func(format string, args ...interface{})
+
+	nScheduled  uint64
+	nDispatched uint64
+	nCanceled   uint64
 }
 
 // NewKernel returns a kernel with an empty event queue at virtual time zero.
 func NewKernel() *Kernel {
 	return &Kernel{
-		procs: make(map[*Proc]struct{}),
-		done:  make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+		free:   -1,
+		driver: make(chan struct{}, 1),
 	}
 }
 
@@ -108,26 +172,220 @@ func (k *Kernel) trace(format string, args ...interface{}) {
 	}
 }
 
-// At schedules fn to run in kernel context at instant t. Scheduling in the
-// past is an error; fn runs immediately at the current instant instead.
-func (k *Kernel) At(t Time, fn func()) {
+// EventsScheduled reports the total number of events ever scheduled.
+func (k *Kernel) EventsScheduled() uint64 { return k.nScheduled }
+
+// EventsDispatched reports the total number of events dispatched.
+func (k *Kernel) EventsDispatched() uint64 { return k.nDispatched }
+
+// EventsCanceled reports how many scheduled events were canceled before
+// firing (timeouts beaten by the operation they guarded).
+func (k *Kernel) EventsCanceled() uint64 { return k.nCanceled }
+
+// EventPoolSize reports the size of the event arena (live + free slots): the
+// high-water mark of simultaneously pending heap events.
+func (k *Kernel) EventPoolSize() int { return len(k.slots) }
+
+// QueueLen reports the number of live pending events (heap minus tombstones,
+// plus the same-instant ring).
+func (k *Kernel) QueueLen() int { return len(k.heap) - k.tombs + k.rlen }
+
+// --- event queue internals -------------------------------------------------
+
+func (k *Kernel) allocSlot() int32 {
+	if k.free >= 0 {
+		id := k.free
+		k.free = k.slots[id].next
+		return id
+	}
+	k.slots = append(k.slots, eventSlot{})
+	return int32(len(k.slots) - 1)
+}
+
+func (k *Kernel) releaseSlot(id int32) {
+	s := &k.slots[id]
+	s.fn = nil
+	s.proc = nil
+	s.gen++
+	s.next = k.free
+	k.free = id
+}
+
+func (k *Kernel) heapPush(e heapEntry) {
+	h := append(k.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.heap = h
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			return
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (k *Kernel) heapPop() heapEntry {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	k.heap = h[:n]
+	if n > 1 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+// prune discards tombstoned entries from the heap top so peeks see a live
+// event (or an empty heap).
+func (k *Kernel) prune() {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		if k.slots[e.id].gen == e.gen {
+			return
+		}
+		k.heapPop()
+		k.tombs--
+	}
+}
+
+// compact removes every tombstoned entry and re-heapifies. Triggered when
+// canceled timeouts outnumber half the heap.
+func (k *Kernel) compact() {
+	live := k.heap[:0]
+	for _, e := range k.heap {
+		if k.slots[e.id].gen == e.gen {
+			live = append(live, e)
+		}
+	}
+	k.heap = live
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		k.siftDown(i)
+	}
+	k.tombs = 0
+}
+
+func (k *Kernel) ringPush(e ringEntry) {
+	if k.rlen == len(k.ring) {
+		k.growRing()
+	}
+	k.ring[(k.rhead+k.rlen)&(len(k.ring)-1)] = e
+	k.rlen++
+}
+
+func (k *Kernel) growRing() {
+	n := len(k.ring) * 2
+	if n == 0 {
+		n = 64
+	}
+	nr := make([]ringEntry, n)
+	for i := 0; i < k.rlen; i++ {
+		nr[i] = k.ring[(k.rhead+i)&(len(k.ring)-1)]
+	}
+	k.ring = nr
+	k.rhead = 0
+}
+
+func (k *Kernel) ringPop() ringEntry {
+	e := k.ring[k.rhead]
+	k.ring[k.rhead] = ringEntry{}
+	k.rhead = (k.rhead + 1) & (len(k.ring) - 1)
+	k.rlen--
+	return e
+}
+
+// schedule is the single entry point for future work. Instants at or before
+// the current time go to the same-instant ring; later instants get an arena
+// slot and a heap entry.
+func (k *Kernel) schedule(t Time, fn func(), proc *Proc, kind uint8) {
+	k.seq++
+	k.nScheduled++
+	if t <= k.now {
+		k.ringPush(ringEntry{seq: k.seq, fn: fn, proc: proc, kind: kind})
+		return
+	}
+	id := k.allocSlot()
+	s := &k.slots[id]
+	s.fn, s.proc, s.kind = fn, proc, kind
+	k.heapPush(heapEntry{at: t, seq: k.seq, id: id, gen: s.gen})
+}
+
+// scheduleCancelable is schedule, but always through the heap (ring entries
+// cannot be canceled) and returning a handle for cancel.
+func (k *Kernel) scheduleCancelable(t Time, fn func()) cancelHandle {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.nScheduled++
+	id := k.allocSlot()
+	s := &k.slots[id]
+	s.fn, s.kind = fn, evFn
+	k.heapPush(heapEntry{at: t, seq: k.seq, id: id, gen: s.gen})
+	return cancelHandle{id: id, gen: s.gen}
 }
 
+// cancel revokes a pending cancelable event. The slot returns to the pool
+// immediately; the heap entry becomes a tombstone, compacted away when
+// tombstones outnumber half the heap. Canceling an event that already fired
+// (or was already canceled) is a no-op: gen has moved on.
+func (k *Kernel) cancel(h cancelHandle) {
+	if h.id < 0 {
+		return
+	}
+	s := &k.slots[h.id]
+	if s.gen != h.gen {
+		return
+	}
+	k.releaseSlot(h.id)
+	k.tombs++
+	k.nCanceled++
+	if k.tombs > 64 && k.tombs*2 > len(k.heap) {
+		k.compact()
+	}
+}
+
+// At schedules fn to run in kernel context at instant t. Scheduling in the
+// past is an error; fn runs immediately at the current instant instead.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, fn, nil, evFn) }
+
 // After schedules fn to run d after the current instant.
-func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now.Add(d), fn) }
+func (k *Kernel) After(d time.Duration, fn func()) { k.schedule(k.now.Add(d), fn, nil, evFn) }
 
 // afterCancelable schedules fn and returns a cancel func usable before the
 // event fires (e.g. timeouts that are beaten by the thing they guard).
+// Hot paths (Mailbox.RecvTimeout) use scheduleCancelable/cancel directly to
+// avoid the closure.
 func (k *Kernel) afterCancelable(d time.Duration, fn func()) (cancel func()) {
-	canceled := false
-	k.seq++
-	heap.Push(&k.events, &event{at: k.now.Add(d), seq: k.seq, fn: fn, canc: &canceled})
-	return func() { canceled = true }
+	h := k.scheduleCancelable(k.now.Add(d), fn)
+	return func() { k.cancel(h) }
 }
 
 // Proc is a simulated process: a goroutine scheduled cooperatively by the
@@ -136,9 +394,17 @@ func (k *Kernel) afterCancelable(d time.Duration, fn func()) (cancel func()) {
 type Proc struct {
 	k      *Kernel
 	name   string
+	fn     func(p *Proc)
 	resume chan struct{}
 	exited bool
 	daemon bool
+
+	// Pooled waiter records: a process blocks on at most one thing at a
+	// time, so every Mailbox/Resource wait reuses these instead of
+	// allocating (see sync.go).
+	mw        mboxWaiter
+	rw        resWaiter
+	mwTimeout func() // pre-built RecvTimeout callback, created once
 }
 
 // Kernel returns the kernel this process belongs to.
@@ -154,27 +420,7 @@ func (p *Proc) Now() Time { return p.k.now }
 // instant (or later if the kernel is busy with earlier events). fn runs on
 // its own goroutine but under the kernel's cooperative schedule.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
-	k.procs[p] = struct{}{}
-	k.At(k.now, func() {
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					k.failProc(p, r)
-					return
-				}
-				p.exited = true
-				delete(k.procs, p)
-				k.done <- struct{}{}
-			}()
-			<-p.resume // wait for the kernel's first hand-off
-			fn(p)
-		}()
-		// Hand control to the new goroutine.
-		p.resume <- struct{}{}
-		<-k.done
-	})
-	return p
+	return k.SpawnAt(k.now, name, fn)
 }
 
 // SpawnDaemon is Spawn for service processes that run for the lifetime of
@@ -187,32 +433,32 @@ func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
-// SpawnAt is Spawn but the process starts at instant t.
+// SpawnAt is Spawn but the process starts at instant t. The goroutine is
+// created lazily when the start event fires.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p := &Proc{k: k, name: name, fn: fn, resume: make(chan struct{}, 1)}
 	k.procs[p] = struct{}{}
-	k.At(t, func() {
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					k.failProc(p, r)
-					return
-				}
-				p.exited = true
-				delete(k.procs, p)
-				k.done <- struct{}{}
-			}()
-			<-p.resume
-			fn(p)
-		}()
-		p.resume <- struct{}{}
-		<-k.done
-	})
+	k.schedule(t, nil, p, evStart)
 	return p
 }
 
-// failProc records a process panic so Run can surface it, and unblocks the
-// kernel loop.
+// main is the body of a process goroutine: wait for the kernel's first
+// hand-off, run the user function, then pass the dispatch loop on and die.
+func (p *Proc) main() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.k.failProc(p, r)
+		} else {
+			p.exited = true
+			delete(p.k.procs, p)
+		}
+		p.k.procLoop(p, true)
+	}()
+	<-p.resume
+	p.fn(p)
+}
+
+// failProc records a process panic so Run can surface it.
 func (k *Kernel) failProc(p *Proc, r interface{}) {
 	if k.failure == nil {
 		k.failure = fmt.Errorf("sim: process %q panicked at %v: %v\n%s",
@@ -220,54 +466,29 @@ func (k *Kernel) failProc(p *Proc, r interface{}) {
 	}
 	p.exited = true
 	delete(k.procs, p)
-	k.done <- struct{}{}
 }
 
-// park blocks the calling process until another event resumes it. It must
-// only be called from p's goroutine. The caller is responsible for having
-// arranged a wake-up (a timer event, a waiter registration, ...).
+// park blocks the calling process until another event resumes it: the
+// process runs the dispatch loop inline until its own resume event fires or
+// the loop is handed to another goroutine. It must only be called from p's
+// goroutine, and the caller is responsible for having arranged a wake-up (a
+// timer event, a waiter registration, ...).
 func (p *Proc) park() {
-	p.k.blocked++
+	k := p.k
+	k.blocked++
 	if p.daemon {
-		p.k.blockedDaemons++
+		k.blockedDaemons++
 	}
-	p.k.done <- struct{}{}
-	<-p.resume
+	k.procLoop(p, false)
 }
 
 // unpark schedules p to resume at the current instant. Called from kernel
 // context or from another process's execution (which is also, transitively,
 // kernel context).
-func (p *Proc) unpark() {
-	k := p.k
-	k.At(k.now, func() {
-		if p.exited {
-			return
-		}
-		k.blocked--
-		if p.daemon {
-			k.blockedDaemons--
-		}
-		p.resume <- struct{}{}
-		<-k.done
-	})
-}
+func (p *Proc) unpark() { p.k.schedule(p.k.now, nil, p, evResume) }
 
 // unparkAt schedules p to resume at instant t.
-func (p *Proc) unparkAt(t Time) {
-	k := p.k
-	k.At(t, func() {
-		if p.exited {
-			return
-		}
-		k.blocked--
-		if p.daemon {
-			k.blockedDaemons--
-		}
-		p.resume <- struct{}{}
-		<-k.done
-	})
-}
+func (p *Proc) unparkAt(t Time) { p.k.schedule(t, nil, p, evResume) }
 
 // Sleep suspends the process for duration d of virtual time.
 func (p *Proc) Sleep(d time.Duration) {
@@ -281,6 +502,129 @@ func (p *Proc) Sleep(d time.Duration) {
 // Yield lets every event scheduled at the current instant (so far) run
 // before the process continues.
 func (p *Proc) Yield() { p.Sleep(0) }
+
+// procLoop runs the dispatch loop on a process goroutine, converting a
+// panic inside an event callback into a simulation failure surfaced by Run.
+// (A panic in process code itself is caught by main's recover instead; this
+// one only fires for kernel-context callbacks that happened to be hosted on
+// this goroutine.)
+func (k *Kernel) procLoop(p *Proc, exiting bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if k.failure == nil {
+				k.failure = fmt.Errorf("sim: event callback panicked at %v: %v\n%s",
+					k.now, r, debug.Stack())
+			}
+			k.driver <- struct{}{}
+			// The simulation is dead; so is this goroutine.
+			select {}
+		}
+	}()
+	k.loop(p, exiting)
+}
+
+// windDown returns control to the Run caller: the queue is empty, the time
+// limit was reached, or the simulation failed.
+func (k *Kernel) windDown(self *Proc, exiting bool) {
+	if self == nil {
+		return // the driver holds the loop; Run just returns
+	}
+	k.driver <- struct{}{}
+	if exiting {
+		return // goroutine ends
+	}
+	// Stay parked: a later Run may still dispatch our resume event.
+	<-self.resume
+}
+
+// loop is the dispatch loop. Exactly one goroutine runs it at a time — the
+// Run caller (self == nil) or a parked/exiting process — and it migrates by
+// direct channel handoff: dispatching a resume for another process sends it
+// the baton and blocks (or ends, when exiting) the current goroutine.
+//
+// Returning from loop means: for the driver, the run wound down; for a
+// process, either its own resume event fired (continue user code) or it
+// handed the baton on and was later resumed.
+func (k *Kernel) loop(self *Proc, exiting bool) {
+	for {
+		if k.failure != nil {
+			k.windDown(self, exiting)
+			return
+		}
+		var (
+			fn   func()
+			proc *Proc
+			kind uint8
+		)
+		k.prune()
+		if k.rlen > 0 {
+			// The ring holds events at the current instant; the heap may
+			// hold an earlier-submitted event at this same instant.
+			fromHeap := false
+			if len(k.heap) > 0 {
+				t := k.heap[0]
+				if t.at == k.now && t.seq < k.ring[k.rhead].seq {
+					fromHeap = true
+				}
+			}
+			if fromHeap {
+				e := k.heapPop()
+				s := &k.slots[e.id]
+				fn, proc, kind = s.fn, s.proc, s.kind
+				k.releaseSlot(e.id)
+			} else {
+				e := k.ringPop()
+				fn, proc, kind = e.fn, e.proc, e.kind
+			}
+		} else if len(k.heap) > 0 {
+			t := k.heap[0]
+			if t.at > k.limit {
+				// Leave the event in place so a later Run can continue.
+				k.now = k.limit
+				k.windDown(self, exiting)
+				return
+			}
+			k.now = t.at
+			e := k.heapPop()
+			s := &k.slots[e.id]
+			fn, proc, kind = s.fn, s.proc, s.kind
+			k.releaseSlot(e.id)
+		} else {
+			k.windDown(self, exiting)
+			return
+		}
+		k.nDispatched++
+		if kind == evFn {
+			fn()
+			continue
+		}
+		q := proc
+		if q.exited {
+			continue // stale resume for a process that already exited
+		}
+		if kind == evResume {
+			k.blocked--
+			if q.daemon {
+				k.blockedDaemons--
+			}
+			if q == self {
+				return // our own wake-up: keep the baton, continue user code
+			}
+		} else { // evStart
+			go q.main()
+		}
+		q.resume <- struct{}{}
+		if exiting {
+			return // baton handed on; this goroutine ends
+		}
+		if self == nil {
+			<-k.driver // the driver waits for wind-down
+		} else {
+			<-self.resume // wait for our own resume event
+		}
+		return
+	}
+}
 
 // ErrDeadlock is returned (wrapped) by Run when processes remain blocked but
 // no events are pending.
@@ -298,27 +642,12 @@ func (e *DeadlockError) Error() string {
 // (use MaxTime for no limit). It returns an error if any process panicked or
 // if the simulation deadlocked (blocked processes with no pending events).
 func (k *Kernel) Run(limit Time) error {
-	for len(k.events) > 0 {
-		if k.failure != nil {
-			return k.failure
-		}
-		e := heap.Pop(&k.events).(*event)
-		if e.canc != nil && *e.canc {
-			continue
-		}
-		if e.at > limit {
-			// Push back so a later Run can continue.
-			heap.Push(&k.events, e)
-			k.now = limit
-			return nil
-		}
-		k.now = e.at
-		e.fn()
-	}
+	k.limit = limit
+	k.loop(nil, false)
 	if k.failure != nil {
 		return k.failure
 	}
-	if k.blocked > k.blockedDaemons {
+	if k.rlen == 0 && len(k.heap) == 0 && k.blocked > k.blockedDaemons {
 		var names []string
 		for p := range k.procs {
 			if !p.exited && !p.daemon {

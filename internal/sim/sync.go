@@ -5,23 +5,55 @@ import (
 	"time"
 )
 
+// minMailboxCap is the smallest ring-buffer capacity a mailbox keeps once it
+// has allocated one; rings shrink back toward it as queues drain.
+const minMailboxCap = 8
+
 // Mailbox is an unbounded FIFO message queue connecting simulated processes.
 // Send never blocks; Recv blocks the calling process until a message is
 // available. A Mailbox may have many senders and many receivers; messages go
 // to receivers in FIFO order of their arrival at the mailbox.
+//
+// Messages are stored in a power-of-two ring buffer that grows on demand and
+// shrinks as it drains, so a long-lived daemon mailbox that once absorbed a
+// burst does not retain the burst's backing array (or the delivered
+// messages) forever.
 type Mailbox struct {
 	k       *Kernel
 	name    string
-	queue   []interface{}
+	buf     []interface{} // power-of-two ring; nil until first queued message
+	head    int
+	n       int
 	waiters []*mboxWaiter
 }
 
+// mboxWaiter records one blocked receiver. Waiters are pooled per process
+// (Proc.mw): a process blocks on at most one mailbox at a time, so Recv and
+// RecvTimeout never allocate.
 type mboxWaiter struct {
 	p        *Proc
+	m        *Mailbox
 	msg      interface{}
 	ok       bool
 	timedOut bool
-	cancelTO func()
+	hasTO    bool
+	cancelTO cancelHandle
+}
+
+// fireTimeout is the timeout callback for RecvTimeout: remove the waiter
+// from its mailbox and wake it empty-handed. It is invoked through the
+// pre-built Proc.mwTimeout closure, so arming a timeout allocates nothing.
+func (w *mboxWaiter) fireTimeout() {
+	m := w.m
+	for i, x := range m.waiters {
+		if x == w {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			break
+		}
+	}
+	w.hasTO = false
+	w.timedOut = true
+	w.p.unpark()
 }
 
 // NewMailbox creates a mailbox attached to k. The name appears in traces and
@@ -34,23 +66,74 @@ func NewMailbox(k *Kernel, name string) *Mailbox {
 func (m *Mailbox) Name() string { return m.name }
 
 // Len reports the number of queued (undelivered) messages.
-func (m *Mailbox) Len() int { return len(m.queue) }
+func (m *Mailbox) Len() int { return m.n }
+
+// Cap reports the current ring-buffer capacity (for tests and gauges).
+func (m *Mailbox) Cap() int { return len(m.buf) }
+
+func (m *Mailbox) push(msg interface{}) {
+	if m.n == len(m.buf) {
+		m.resize(len(m.buf) * 2)
+	}
+	m.buf[(m.head+m.n)&(len(m.buf)-1)] = msg
+	m.n++
+}
+
+func (m *Mailbox) pop() interface{} {
+	msg := m.buf[m.head]
+	m.buf[m.head] = nil // release the reference now, not at overwrite time
+	m.head = (m.head + 1) & (len(m.buf) - 1)
+	m.n--
+	if len(m.buf) > minMailboxCap && m.n <= len(m.buf)/4 {
+		m.resize(len(m.buf) / 2)
+	}
+	return msg
+}
+
+// resize re-bases the ring into a buffer of capacity c (a power of two,
+// clamped to minMailboxCap).
+func (m *Mailbox) resize(c int) {
+	if c < minMailboxCap {
+		c = minMailboxCap
+	}
+	if c == len(m.buf) {
+		return
+	}
+	nb := make([]interface{}, c)
+	for i := 0; i < m.n; i++ {
+		nb[i] = m.buf[(m.head+i)&(len(m.buf)-1)]
+	}
+	m.buf = nb
+	m.head = 0
+}
+
+// popWaiter removes the head waiter without advancing the slice base, so
+// the backing array is reused forever (append never reallocates in steady
+// state).
+func (m *Mailbox) popWaiter() *mboxWaiter {
+	w := m.waiters[0]
+	last := len(m.waiters) - 1
+	copy(m.waiters, m.waiters[1:])
+	m.waiters[last] = nil
+	m.waiters = m.waiters[:last]
+	return w
+}
 
 // Send enqueues msg at the current instant. If a receiver is waiting, it is
 // handed the message and resumed. Send may be called from kernel context or
 // from any process.
 func (m *Mailbox) Send(msg interface{}) {
 	if len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
+		w := m.popWaiter()
 		w.msg, w.ok = msg, true
-		if w.cancelTO != nil {
-			w.cancelTO()
+		if w.hasTO {
+			w.hasTO = false
+			m.k.cancel(w.cancelTO)
 		}
 		w.p.unpark()
 		return
 	}
-	m.queue = append(m.queue, msg)
+	m.push(msg)
 }
 
 // SendAfter enqueues msg d after the current instant (a one-way message
@@ -59,57 +142,56 @@ func (m *Mailbox) SendAfter(d time.Duration, msg interface{}) {
 	m.k.After(d, func() { m.Send(msg) })
 }
 
+// wait registers p's pooled waiter and returns it.
+func (m *Mailbox) wait(p *Proc) *mboxWaiter {
+	w := &p.mw
+	w.p, w.m = p, m
+	w.msg, w.ok, w.timedOut, w.hasTO = nil, false, false, false
+	m.waiters = append(m.waiters, w)
+	return w
+}
+
 // Recv blocks p until a message is available and returns it.
 func (m *Mailbox) Recv(p *Proc) interface{} {
-	if len(m.queue) > 0 {
-		msg := m.queue[0]
-		m.queue = m.queue[1:]
-		return msg
+	if m.n > 0 {
+		return m.pop()
 	}
-	w := &mboxWaiter{p: p}
-	m.waiters = append(m.waiters, w)
+	w := m.wait(p)
 	p.park()
 	if !w.ok {
 		panic(fmt.Sprintf("sim: mailbox %q: process resumed without a message", m.name))
 	}
-	return w.msg
+	msg := w.msg
+	w.msg = nil
+	return msg
 }
 
 // RecvTimeout is Recv but gives up after d, returning ok=false.
 func (m *Mailbox) RecvTimeout(p *Proc, d time.Duration) (msg interface{}, ok bool) {
-	if len(m.queue) > 0 {
-		msg := m.queue[0]
-		m.queue = m.queue[1:]
-		return msg, true
+	if m.n > 0 {
+		return m.pop(), true
 	}
-	w := &mboxWaiter{p: p}
-	w.cancelTO = m.k.afterCancelable(d, func() {
-		// Remove w from the waiter list and wake it empty-handed.
-		for i, x := range m.waiters {
-			if x == w {
-				m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
-				break
-			}
-		}
-		w.timedOut = true
-		w.p.unpark()
-	})
-	m.waiters = append(m.waiters, w)
+	if p.mwTimeout == nil {
+		p.mwTimeout = p.mw.fireTimeout
+	}
+	w := m.wait(p)
+	w.hasTO = true
+	w.cancelTO = m.k.scheduleCancelable(m.k.now.Add(d), p.mwTimeout)
 	p.park()
 	if w.timedOut {
 		return nil, false
 	}
-	return w.msg, w.ok
+	msg = w.msg
+	w.msg = nil
+	return msg, w.ok
 }
 
 // TryRecv returns a queued message without blocking, or ok=false.
 func (m *Mailbox) TryRecv() (msg interface{}, ok bool) {
-	if len(m.queue) == 0 {
+	if m.n == 0 {
 		return nil, false
 	}
-	msg = m.queue[0]
-	m.queue = m.queue[1:]
-	return msg, true
+	return m.pop(), true
 }
 
 // Resource is a counted resource (disk arms, NIC DMA engines, server service
@@ -126,6 +208,7 @@ type Resource struct {
 	busyAccum time.Duration
 }
 
+// resWaiter is pooled per process (Proc.rw), like mboxWaiter.
 type resWaiter struct {
 	p *Proc
 	n int64
@@ -162,7 +245,9 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		r.take(n)
 		return
 	}
-	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	w := &p.rw
+	w.p, w.n = p, n
+	r.waiters = append(r.waiters, w)
 	p.park()
 }
 
@@ -193,7 +278,10 @@ func (r *Resource) Release(n int64) {
 	}
 	for len(r.waiters) > 0 && r.waiters[0].n <= r.avail {
 		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+		last := len(r.waiters) - 1
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[last] = nil
+		r.waiters = r.waiters[:last]
 		r.take(w.n)
 		w.p.unpark()
 	}
