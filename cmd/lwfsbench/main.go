@@ -16,6 +16,7 @@
 //	lwfsbench -experiment meta              # replicated-metadata cost and availability
 //	lwfsbench -experiment redstorm          # E22: sampled 100k-rank Red Storm burst sweep
 //	lwfsbench -experiment ckptinterval      # E23: apparent vs durable dump time -> affordable interval
+//	lwfsbench -experiment replay            # E24: recorded workload traces replayed through the fs.FS facade
 //	lwfsbench -experiment all
 //
 // The -metrics flag appends per-sweep-point registry snapshot deltas (RPC
@@ -46,7 +47,7 @@ func renameSeries(s stats.Series, name string) stats.Series {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|meta|redstorm|ckptinterval|all")
+		experiment = flag.String("experiment", "all", "fig9|fig10|table1|table2|petaflop|security|filtering|collective|faults|burst|recovery|stripe|rebuild|qos|meta|redstorm|ckptinterval|replay|all")
 		trials     = flag.Int("trials", 0, "trials per point (0 = paper default of 5)")
 		quick      = flag.Bool("quick", false, "small sweep for a fast smoke run")
 		servers    = flag.String("servers", "", "comma-separated server counts (default 2,4,8,16)")
@@ -332,6 +333,24 @@ func main() {
 			co.BytesPerProc = *bytesMB << 20
 		}
 		res, err := figures.CkptIntervalRun(co)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		figures.RenderMetricsCaptures(os.Stdout, res.Captures)
+		return nil
+	})
+
+	run("replay", func() error {
+		ro := figures.ReplayOpts{Progress: progress, Metrics: *metrics}
+		if *quick {
+			ro.Concurrency = []int{1, 4, 16}
+			ro.Clones = 16
+		}
+		if *clients != "" {
+			ro.Concurrency = parseInts(*clients)
+		}
+		res, err := figures.ReplaySweep(ro)
 		if err != nil {
 			return err
 		}

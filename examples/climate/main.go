@@ -10,6 +10,7 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -17,6 +18,7 @@ import (
 	"lwfs"
 	"lwfs/internal/scidata"
 	"lwfs/internal/sim"
+	"lwfs/internal/trace"
 )
 
 const (
@@ -26,6 +28,9 @@ const (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "record the model/analyst I/O as a replayable trace at this path")
+	flag.Parse()
+
 	spec := lwfs.DevCluster()
 	spec.ComputeNodes = 2
 	spec = spec.WithServers(4)
@@ -37,6 +42,23 @@ func main() {
 	analyst := cl.NewClient(sys, 1)
 
 	share := sim.NewMailbox(cl.K, "share")
+
+	// With -trace, the run is also recorded against the dataset's logical
+	// file: the model's timestep writes carry content seeds (the replayed
+	// bytes regenerate from the seed, not the trace), the analyst's
+	// hyperslab reads become strided ReadAt calls. Two streams: model (0)
+	// and analyst (1).
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
+	const dsPath = "/runs/temperature.dat"
+	recOp := func(p *lwfs.Proc, stream int, op trace.Op, off, n int64, seed uint64) {
+		if rec == nil {
+			return
+		}
+		rec.Add(trace.Event{T: p.Now(), Stream: stream, Op: op, Path: dsPath, Off: off, Len: n, Seed: seed})
+	}
 
 	cl.Spawn("model", func(p *lwfs.Proc) {
 		if err := model.Login(p, "model", "pw"); err != nil {
@@ -55,6 +77,10 @@ func main() {
 		ds.SetAttr(p, "model", "toy-advection-v1")
 		fmt.Printf("model: dataset temperature[%d,%d,%d] float64 over %d chunks\n",
 			steps, ny, nx, ds.NumChunks())
+		if rec != nil {
+			rec.Add(trace.Event{T: p.Now(), Op: trace.OpMkdir, Path: "/runs"})
+		}
+		recOp(p, 0, trace.OpCreate, 0, 0, 0)
 
 		// One timestep at a time, like a real model's output phase.
 		for ts := int64(0); ts < steps; ts++ {
@@ -68,7 +94,10 @@ func main() {
 			if err := ds.WriteSlab(p, []int64{ts, 0, 0}, []int64{1, ny, nx}, lwfs.Bytes(field)); err != nil {
 				log.Fatal(err)
 			}
+			recOp(p, 0, trace.OpWrite, ts*ny*nx*8, ny*nx*8, trace.SeedOf(field))
 		}
+		recOp(p, 0, trace.OpSync, 0, 0, 0)
+		recOp(p, 0, trace.OpClose, 0, 0, 0)
 		fmt.Printf("model: wrote %d timesteps (%d KB) at virtual time %v\n",
 			steps, steps*ny*nx*8/1024, p.Now())
 
@@ -100,9 +129,13 @@ func main() {
 		fmt.Printf("analyst: temperature%v (%s)\n", ds.Dims, units)
 
 		// Hyperslab 1: the full time series at grid point (7, 21).
+		recOp(p, 1, trace.OpOpen, 0, 0, 0)
 		series, err := ds.ReadSlab(p, []int64{0, 7, 21}, []int64{steps, 1, 1})
 		if err != nil {
 			log.Fatal(err)
+		}
+		for ts := int64(0); ts < steps; ts++ {
+			recOp(p, 1, trace.OpRead, ts*ny*nx*8+(7*nx+21)*8, 8, 0)
 		}
 		first := math.Float64frombits(binary.LittleEndian.Uint64(series.Data))
 		last := math.Float64frombits(binary.LittleEndian.Uint64(series.Data[(steps-1)*8:]))
@@ -113,6 +146,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		recOp(p, 1, trace.OpRead, 12*ny*nx*8, ny*nx*8, 0)
+		recOp(p, 1, trace.OpClose, 0, 0, 0)
 		var sum float64
 		for i := 0; i < ny*nx; i++ {
 			sum += math.Float64frombits(binary.LittleEndian.Uint64(ts12.Data[i*8:]))
@@ -123,5 +158,12 @@ func main() {
 
 	if err := cl.Run(); err != nil {
 		log.Fatal(err)
+	}
+
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d I/O events to %s\n", rec.Len(), *traceOut)
 	}
 }

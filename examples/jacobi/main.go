@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -24,6 +25,7 @@ import (
 	"lwfs/internal/checkpoint"
 	"lwfs/internal/mpi"
 	"lwfs/internal/portals"
+	"lwfs/internal/trace"
 )
 
 const (
@@ -36,12 +38,20 @@ const (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "record the checkpoint/restart I/O as a replayable trace at this path")
+	flag.Parse()
+
 	spec := lwfs.DevCluster()
 	spec.ComputeNodes = 4 // 8 ranks on 4 nodes
 	spec = spec.WithServers(4)
 	cl := lwfs.NewCluster(spec)
 	cl.RegisterUser("solver", "pw")
 	sys := cl.DeployLWFS()
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
 
 	clients := make([]*lwfs.Client, ranks)
 	for i := range clients {
@@ -53,6 +63,7 @@ func main() {
 		ranks, stripLen, ckptEvery, crashAt)
 	var lastCkpt string
 	phase1 := newJob(cl, clients)
+	phase1.rec = rec
 	phase1.run(0, crashAt, func(iter int, path string) { lastCkpt = path })
 	if err := cl.Run(); err != nil {
 		log.Fatal(err)
@@ -62,11 +73,19 @@ func main() {
 	// ---- phase 2: a fresh job (new processes, new communicator) restores
 	// from the last durable checkpoint and carries on ----
 	phase2 := newJob(cl, clients)
+	phase2.rec = rec
 	phase2.restoreFrom = lastCkpt
 	phase2.container = phase1.caps.Container // job metadata, like a scratch dir
 	phase2.run(crashAt-crashAt%ckptEvery, stopAt, nil)
 	if err := cl.Run(); err != nil {
 		log.Fatal(err)
+	}
+
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d I/O events to %s\n", rec.Len(), *traceOut)
 	}
 }
 
@@ -80,6 +99,20 @@ type job struct {
 	container   lwfs.ContainerID
 	caps        lwfs.CapSet
 	gen         int
+
+	// rec, when set, records each rank's checkpoint/restart I/O as trace
+	// events (one stream per rank) for internal/trace's replayer. The
+	// recorded paths name the logical per-rank dump files of the Figure 8
+	// pattern; replayed against a POSIX-facade mount they become real files.
+	rec *trace.Recorder
+}
+
+// recOp appends one per-rank trace event at the current virtual time.
+func (j *job) recOp(p *lwfs.Proc, id int, op trace.Op, path string, off, n int64, seed uint64) {
+	if j.rec == nil {
+		return
+	}
+	j.rec.Add(trace.Event{T: p.Now(), Stream: id, Op: op, Path: path, Off: off, Len: n, Seed: seed})
 }
 
 var jobGen int
@@ -149,18 +182,26 @@ func (j *job) rankMain(p *lwfs.Proc, id, startIter, stopIter int, onCkpt func(in
 		// Restart: rank 0 resolves the manifest and broadcasts it.
 		var manifest lwfs.CheckpointManifest
 		if id == 0 {
+			mpath := j.restoreFrom + ".manifest"
+			j.recOp(p, id, trace.OpOpen, mpath, 0, 0, 0)
 			m, err := lwfs.RestoreCheckpoint(p, c, caps, j.restoreFrom)
 			if err != nil {
 				panic(err)
 			}
+			j.recOp(p, id, trace.OpRead, mpath, 0, int64(len(checkpoint.EncodeMetadata(m.Refs, m.BytesPerProc))), 0)
+			j.recOp(p, id, trace.OpClose, mpath, 0, 0, 0)
 			manifest = m
 			fmt.Printf("job 2: restored manifest %s (%d ranks)\n", j.restoreFrom, m.Ranks)
 		}
 		manifest = rank.Bcast(p, 0, manifest, 1024).(lwfs.CheckpointManifest)
+		strip0 := fmt.Sprintf("%s-rank%d.dat", j.restoreFrom, id)
+		j.recOp(p, id, trace.OpOpen, strip0, 0, 0, 0)
 		payload, err := c.Read(p, manifest.Refs[id], caps, 0, int64(stripLen*8))
 		if err != nil {
 			panic(err)
 		}
+		j.recOp(p, id, trace.OpRead, strip0, 0, int64(stripLen*8), 0)
+		j.recOp(p, id, trace.OpClose, strip0, 0, 0, 0)
 		for x := range strip {
 			strip[x] = math.Float64frombits(binary.LittleEndian.Uint64(payload.Data[x*8:]))
 		}
@@ -245,6 +286,8 @@ func (j *job) checkpointStrip(p *lwfs.Proc, rank *mpi.Rank, c *lwfs.Client,
 	}
 	txp := rank.Bcast(p, 0, tx, 64).(*lwfs.Txn)
 
+	strip0 := fmt.Sprintf("%s-rank%d.dat", path, id)
+	j.recOp(p, id, trace.OpCreate, strip0, 0, 0, 0)
 	ref, err := c.CreateObjectTxn(p, c.Server(id), caps, txp)
 	if err != nil {
 		panic(err)
@@ -256,9 +299,12 @@ func (j *job) checkpointStrip(p *lwfs.Proc, rank *mpi.Rank, c *lwfs.Client,
 	if _, err := c.Write(p, ref, caps, 0, lwfs.Bytes(buf)); err != nil {
 		panic(err)
 	}
+	j.recOp(p, id, trace.OpWrite, strip0, 0, int64(len(buf)), trace.SeedOf(buf))
 	if err := c.Sync(p, lwfs.Target{Node: ref.Node, Port: ref.Port}, caps); err != nil {
 		panic(err)
 	}
+	j.recOp(p, id, trace.OpSync, strip0, 0, 0, 0)
+	j.recOp(p, id, trace.OpClose, strip0, 0, 0, 0)
 
 	// Metadata gather to rank 0 (log-tree).
 	gathered := rank.Gather(p, 0, ref, 64)
@@ -271,9 +317,14 @@ func (j *job) checkpointStrip(p *lwfs.Proc, rank *mpi.Rank, c *lwfs.Client,
 		if err != nil {
 			panic(err)
 		}
-		if _, err := c.Write(p, mdRef, caps, 0, lwfs.Bytes(checkpoint.EncodeMetadata(refs, int64(stripLen*8)))); err != nil {
+		manifest := path + ".manifest"
+		j.recOp(p, id, trace.OpCreate, manifest, 0, 0, 0)
+		md := checkpoint.EncodeMetadata(refs, int64(stripLen*8))
+		if _, err := c.Write(p, mdRef, caps, 0, lwfs.Bytes(md)); err != nil {
 			panic(err)
 		}
+		j.recOp(p, id, trace.OpWrite, manifest, 0, int64(len(md)), trace.SeedOf(md))
+		j.recOp(p, id, trace.OpClose, manifest, 0, 0, 0)
 		if err := c.CreateName(p, path, mdRef, txp); err != nil {
 			panic(err)
 		}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"lwfs"
+	"lwfs/internal/trace"
 )
 
 const (
@@ -38,6 +40,9 @@ const (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "record the survey's I/O as a replayable trace at this path")
+	flag.Parse()
+
 	spec := lwfs.DevCluster()
 	spec.ComputeNodes = 2
 	spec = spec.WithServers(8)
@@ -45,6 +50,24 @@ func main() {
 	cl.RegisterUser("geo", "pw")
 	sys := cl.DeployLWFS()
 	c := cl.NewClient(sys, 0)
+
+	// With -trace, every survey operation is also logged as a trace event
+	// against logical per-gather files (one stream: the survey process).
+	// The object writes are synthetic (seed 0), so the trace carries the
+	// shape of the workload — sizes, offsets, orderings — without payloads.
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
+	recOp := func(p *lwfs.Proc, op trace.Op, path string, off, n int64) {
+		if rec == nil {
+			return
+		}
+		rec.Add(trace.Event{T: p.Now(), Op: op, Path: path, Off: off, Len: n})
+	}
+	shotPath := func(s int) string { return fmt.Sprintf("/shot/s%02d.dat", s) }
+	offPath := func(o int) string { return fmt.Sprintf("/off/o%02d.dat", o) }
+	redistPath := func(o int) string { return fmt.Sprintf("/redist/o%02d.dat", o) }
 
 	cl.Spawn("survey", func(p *lwfs.Proc) {
 		if err := c.Login(p, "geo", "pw"); err != nil {
@@ -56,6 +79,10 @@ func main() {
 			log.Fatal(err)
 		}
 
+		recOp(p, trace.OpMkdir, "/shot", 0, 0)
+		recOp(p, trace.OpMkdir, "/off", 0, 0)
+		recOp(p, trace.OpMkdir, "/redist", 0, 0)
+
 		// Layout A (shot-major): one object per shot, all its offsets
 		// contiguous; shots round-robin over servers.
 		shotObjs := make([]lwfs.ObjRef, shots)
@@ -65,9 +92,12 @@ func main() {
 				log.Fatal(err)
 			}
 			shotObjs[s] = ref
+			recOp(p, trace.OpCreate, shotPath(s), 0, 0)
 			if _, err := c.Write(p, ref, caps, 0, lwfs.Synthetic(traceSize*int64(offsets))); err != nil {
 				log.Fatal(err)
 			}
+			recOp(p, trace.OpWrite, shotPath(s), 0, traceSize*int64(offsets))
+			recOp(p, trace.OpClose, shotPath(s), 0, 0)
 		}
 		// Layout B (offset-major): one object per offset class.
 		offObjs := make([]lwfs.ObjRef, offsets)
@@ -77,28 +107,43 @@ func main() {
 				log.Fatal(err)
 			}
 			offObjs[o] = ref
+			recOp(p, trace.OpCreate, offPath(o), 0, 0)
 			if _, err := c.Write(p, ref, caps, 0, lwfs.Synthetic(traceSize*int64(shots))); err != nil {
 				log.Fatal(err)
 			}
+			recOp(p, trace.OpWrite, offPath(o), 0, traceSize*int64(shots))
+			recOp(p, trace.OpClose, offPath(o), 0, 0)
 		}
 
 		// Access pattern 1: read one full shot gather.
 		readShotFromShotMajor := timeIt(p, func() {
+			recOp(p, trace.OpOpen, shotPath(7), 0, 0)
 			mustRead(p, c, shotObjs[7], caps, 0, traceSize*int64(offsets))
+			recOp(p, trace.OpRead, shotPath(7), 0, traceSize*int64(offsets))
+			recOp(p, trace.OpClose, shotPath(7), 0, 0)
 		})
 		readShotFromOffsetMajor := timeIt(p, func() {
 			for o := 0; o < offsets; o++ {
+				recOp(p, trace.OpOpen, offPath(o), 0, 0)
 				mustRead(p, c, offObjs[o], caps, int64(7)*traceSize, traceSize)
+				recOp(p, trace.OpRead, offPath(o), int64(7)*traceSize, traceSize)
+				recOp(p, trace.OpClose, offPath(o), 0, 0)
 			}
 		})
 
 		// Access pattern 2: read one full offset gather.
 		readOffsetFromOffsetMajor := timeIt(p, func() {
+			recOp(p, trace.OpOpen, offPath(3), 0, 0)
 			mustRead(p, c, offObjs[3], caps, 0, traceSize*int64(shots))
+			recOp(p, trace.OpRead, offPath(3), 0, traceSize*int64(shots))
+			recOp(p, trace.OpClose, offPath(3), 0, 0)
 		})
 		readOffsetFromShotMajor := timeIt(p, func() {
 			for s := 0; s < shots; s++ {
+				recOp(p, trace.OpOpen, shotPath(s), 0, 0)
 				mustRead(p, c, shotObjs[s], caps, int64(3)*traceSize, traceSize)
+				recOp(p, trace.OpRead, shotPath(s), int64(3)*traceSize, traceSize)
+				recOp(p, trace.OpClose, shotPath(s), 0, 0)
 			}
 		})
 
@@ -127,6 +172,7 @@ func main() {
 				log.Fatal(err)
 			}
 			redistObjs[o] = ref
+			recOp(p, trace.OpCreate, redistPath(o), 0, 0)
 		}
 		redistStart := p.Now()
 		for o := 0; o < offsets; o++ {
@@ -135,7 +181,14 @@ func main() {
 					shotObjs[s], caps, int64(o)*traceSize, traceSize); err != nil {
 					log.Fatal(err)
 				}
+				// A third-party copy replays as a read+write pair: the
+				// facade has no server-to-server transfer, so the replayed
+				// bytes cross the client — the trace still preserves the
+				// redistribution's access pattern.
+				recOp(p, trace.OpRead, shotPath(s), int64(o)*traceSize, traceSize)
+				recOp(p, trace.OpWrite, redistPath(o), int64(s)*traceSize, traceSize)
 			}
+			recOp(p, trace.OpClose, redistPath(o), 0, 0)
 		}
 		fmt.Printf("\nredistributed %d MB shot-major -> offset-major via third-party copies in %v\n",
 			int64(shots)*int64(offsets)*traceSize>>20, p.Now().Sub(redistStart))
@@ -143,6 +196,13 @@ func main() {
 
 	if err := cl.Run(); err != nil {
 		log.Fatal(err)
+	}
+
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d I/O events to %s\n", rec.Len(), *traceOut)
 	}
 }
 

@@ -136,15 +136,47 @@ type FS struct {
 	degradedOpens *metrics.Counter // opens served by a non-primary metadata mirror
 	mirrorsStale  *metrics.Counter // mirrors absorbed by a tolerant metadata flush
 	metaRehomed   *metrics.Counter // metadata mirrors re-homed by Rebuild
+	metaScope     metrics.Scope    // "pfs.meta", for the per-slot open counters
 }
 
 // initMetrics binds the metadata-redundancy instruments on the mounting
 // client's registry.
 func (fs *FS) initMetrics() {
 	mm := fs.c.Endpoint().Metrics().Scope("pfs").Scope("meta")
+	fs.metaScope = mm
 	fs.degradedOpens = mm.Counter("degraded_opens")
 	fs.mirrorsStale = mm.Counter("mirrors_stale")
 	fs.metaRehomed = fs.c.Endpoint().Metrics().Scope("rebuild").Counter("meta_rehomed")
+}
+
+// countOpenSlot records which naming-entry slot served an open, under
+// pfs.meta.open_slot.<slot> — the load-balance evidence that rotation
+// spreads healthy opens across the mirror set. Single-mirror files are not
+// counted; there is nothing to balance.
+func (fs *FS) countOpenSlot(slot int) {
+	fs.metaScope.Counter(fmt.Sprintf("open_slot.%d", slot)).Inc()
+}
+
+// mirrorStart picks where this client starts walking an n-mirror set: its
+// node id modulo n. Different clients therefore favor different mirrors,
+// spreading healthy open load, while one client is self-consistent — the
+// mirror its Create handle calls primary is the one its Opens try first.
+func (fs *FS) mirrorStart(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return int(fs.c.Node()) % n
+}
+
+// rotateRefs returns refs rotated left by start (a copy; refs is shared
+// with the naming entry).
+func rotateRefs(refs []storage.ObjRef, start int) []storage.ObjRef {
+	if start == 0 {
+		return refs
+	}
+	out := make([]storage.ObjRef, 0, len(refs))
+	out = append(out, refs[start:]...)
+	return append(out, refs[:start]...)
 }
 
 // Format creates a new file system rooted at rootDir: a fresh container, a
@@ -308,6 +340,30 @@ func (fs *FS) List(p *sim.Proc, path string) ([]string, error) {
 	return out, nil
 }
 
+// Info describes one path: a directory, or a file and its logical size.
+type Info struct {
+	Path  string
+	Size  int64
+	IsDir bool
+}
+
+// Stat resolves a path to an Info. Files pay an Open (the size lives in
+// the layout record, not the naming entry); directories only a Lookup.
+func (fs *FS) Stat(p *sim.Proc, path string) (Info, error) {
+	e, err := fs.c.Lookup(p, fs.full(path))
+	if err != nil {
+		return Info{}, err
+	}
+	if e.IsDir {
+		return Info{Path: path, IsDir: true}, nil
+	}
+	f, err := fs.Open(p, path)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{Path: path, Size: f.Size()}, nil
+}
+
 // layoutWireMax bounds the metadata object read size.
 const layoutWireMax = 64 << 10
 
@@ -318,7 +374,7 @@ const layoutWireMax = 64 << 10
 type File struct {
 	fs       *FS
 	path     string
-	mdRefs   []storage.ObjRef // metadata mirrors; [0] is the entry's primary
+	mdRefs   []storage.ObjRef // metadata mirrors, in this client's walk order
 	stale    []bool           // mirrors absorbed by a fault; never re-read or re-written
 	degraded bool             // Open skipped at least one unreachable mirror
 	l        stripe.Layout
@@ -326,8 +382,10 @@ type File struct {
 	dirty    bool
 }
 
-// MetaRefs returns a copy of the file's metadata mirror refs ([0] is the
-// primary the naming entry advertises first). Tests and experiments use it
+// MetaRefs returns a copy of the file's metadata mirror refs in this
+// client's walk order: [0] is the mirror the owning client tries first on
+// open — its primary. (The naming entry stores placement order; each client
+// rotates it by its own id, see mirrorStart.) Tests and experiments use it
 // to aim faults at the server hosting a given mirror.
 func (f *File) MetaRefs() []storage.ObjRef {
 	return append([]storage.ObjRef(nil), f.mdRefs...)
@@ -389,6 +447,10 @@ func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
 	if err := tx.Commit(p); err != nil {
 		return nil, err
 	}
+	// The naming entry keeps placement order; the handle walks it rotated
+	// by this client's id, matching what the client's own Open would do, so
+	// MetaRefs()[0] is the same mirror either way a handle was obtained.
+	mdRefs = rotateRefs(mdRefs, fs.mirrorStart(len(mdRefs)))
 	return &File{fs: fs, path: path, mdRefs: mdRefs,
 		stale: make([]bool, len(mdRefs)), l: l, mdLen: int64(len(enc))}, nil
 }
@@ -428,19 +490,26 @@ func (fs *FS) placeMeta(base int) []storage.Target {
 }
 
 // Open opens an existing file, reading its layout record from the first
-// reachable metadata mirror. Faults are classified before the fallback
+// reachable metadata mirror. The walk order is the naming entry's mirror
+// list rotated by this client's id (mirrorStart), so healthy opens from a
+// population of clients spread across the mirror set instead of all landing
+// on entry slot 0; pfs.meta.open_slot.<n> counts which entry slot served
+// each multi-mirror open. Faults are classified before the fallback
 // lands: only ErrRPCTimeout — the fail-stop signature of a dead server —
 // falls through to the next mirror. ErrNoObject means the record was
 // fenced by a presumed-abort deletion on a live server, and a decode
 // failure (ErrBadLayout) means corruption; neither may be masked as
 // transience by reading another mirror (DESIGN.md §4.11). An open served
-// by a non-primary mirror is recorded in pfs.meta.degraded_opens.
+// by a mirror later in the client's walk than its first choice is recorded
+// in pfs.meta.degraded_opens.
 func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
 	e, err := fs.c.Lookup(p, fs.full(path))
 	if err != nil {
 		return nil, err
 	}
-	refs := e.AllRefs()
+	all := e.AllRefs()
+	start := fs.mirrorStart(len(all))
+	refs := rotateRefs(all, start)
 	var lastErr error
 	for i, ref := range refs {
 		payload, err := fs.c.Read(p, ref, fs.caps, 0, layoutWireMax)
@@ -461,6 +530,9 @@ func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
 		}
 		f := &File{fs: fs, path: path, mdRefs: refs,
 			stale: make([]bool, len(refs)), l: l, mdLen: int64(len(payload.Data))}
+		if len(all) > 1 {
+			fs.countOpenSlot((start + i) % len(all))
+		}
 		if i > 0 {
 			f.degraded = true
 			fs.degradedOpens.Inc()

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"lwfs/internal/sim"
+)
+
+// TickPoint is one periodic capture: the registry's full state at a
+// virtual instant.
+type TickPoint struct {
+	At   sim.Time
+	Snap Snapshot
+}
+
+// Recorder captures periodic registry snapshots on a virtual-time interval
+// — the time-series companion to the phase-endpoint MetricsCapture that
+// experiments already take. A replay (or any run) started under a Recorder
+// produces backlog-over-time trajectories: queue depths, drain backlogs
+// and op counters at every tick, not just their final values.
+//
+// Start schedules the ticker on the kernel; the returned stop function
+// takes one final snapshot and stops rescheduling. Stop must be called
+// when the workload completes (e.g. from a replay's OnDone hook) or the
+// pending tick event would keep the kernel's run from ever finishing. One
+// trailing tick may still fire after stop; it records nothing.
+type Recorder struct {
+	reg     *Registry
+	every   time.Duration
+	pts     []TickPoint
+	stopped bool
+}
+
+// NewRecorder captures reg every interval (default 100ms when zero).
+func NewRecorder(reg *Registry, every time.Duration) *Recorder {
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	return &Recorder{reg: reg, every: every}
+}
+
+// Interval reports the tick interval.
+func (r *Recorder) Interval() time.Duration { return r.every }
+
+// Start arms the ticker on k: the first capture lands one interval from
+// now. It returns the stop function; see the type comment for why stopping
+// matters.
+func (r *Recorder) Start(k *sim.Kernel) (stop func()) {
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		r.capture()
+		k.After(r.every, tick)
+	}
+	k.After(r.every, tick)
+	return func() {
+		if r.stopped {
+			return
+		}
+		r.stopped = true
+		r.capture()
+	}
+}
+
+func (r *Recorder) capture() {
+	r.pts = append(r.pts, TickPoint{At: r.reg.Now(), Snap: r.reg.Snapshot()})
+}
+
+// Points returns the captured series (shared slice; treat as read-only).
+func (r *Recorder) Points() []TickPoint { return r.pts }
+
+// Column evaluates Sum(pattern) at every tick — one metric's trajectory.
+func (r *Recorder) Column(pattern string) []float64 {
+	out := make([]float64, len(r.pts))
+	for i, pt := range r.pts {
+		out[i] = pt.Snap.Sum(pattern)
+	}
+	return out
+}
+
+// WriteColumns renders the series as a table: one row per tick, one column
+// per pattern (each evaluated as Sum(pattern) — counters keep rising,
+// gauges show the level at that instant).
+func (r *Recorder) WriteColumns(w io.Writer, patterns ...string) {
+	fmt.Fprintf(w, "# metrics timeline: %d ticks every %v\n", len(r.pts), r.every)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "t_ms")
+	for _, pat := range patterns {
+		fmt.Fprintf(tw, "\t%s", pat)
+	}
+	fmt.Fprintln(tw)
+	cols := make([][]float64, len(patterns))
+	for i, pat := range patterns {
+		cols[i] = r.Column(pat)
+	}
+	for i, pt := range r.pts {
+		fmt.Fprintf(tw, "%.1f", float64(pt.At)/float64(time.Millisecond))
+		for _, col := range cols {
+			fmt.Fprintf(tw, "\t%s", fmtNum(col[i]))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

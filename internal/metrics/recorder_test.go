@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lwfs/internal/sim"
+)
+
+func TestRecorderTicksAndStops(t *testing.T) {
+	k := sim.NewKernel()
+	reg := NewRegistry(k.Now)
+	work := reg.Scope("work")
+	rec := NewRecorder(reg, 10*time.Millisecond)
+	if rec.Interval() != 10*time.Millisecond {
+		t.Fatalf("interval = %v", rec.Interval())
+	}
+
+	stop := rec.Start(k)
+	k.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			work.Counter("done").Inc()
+			work.Gauge("depth").Set(int64(i))
+			p.Sleep(10 * time.Millisecond)
+		}
+		stop()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+
+	pts := rec.Points()
+	// Five 10ms ticks land inside the 50ms workload, plus the final capture
+	// stop() takes.
+	if len(pts) < 5 || len(pts) > 7 {
+		t.Fatalf("captured %d ticks", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At < pts[i-1].At {
+			t.Fatalf("ticks out of order: %v then %v", pts[i-1].At, pts[i].At)
+		}
+	}
+	col := rec.Column("work.done")
+	for i := 1; i < len(col); i++ {
+		if col[i] < col[i-1] {
+			t.Fatalf("counter column not monotonic: %v", col)
+		}
+	}
+	if last := col[len(col)-1]; last != 5 {
+		t.Fatalf("final counter column value = %v, want 5", last)
+	}
+	// Ticks after stop record nothing.
+	n := len(rec.Points())
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Points()) != n {
+		t.Fatal("recorder kept capturing after stop")
+	}
+}
+
+func TestRecorderWriteColumns(t *testing.T) {
+	k := sim.NewKernel()
+	reg := NewRegistry(k.Now)
+	rec := NewRecorder(reg, 5*time.Millisecond)
+	stop := rec.Start(k)
+	k.Spawn("load", func(p *sim.Proc) {
+		reg.Scope("q").Gauge("depth").Set(3)
+		p.Sleep(12 * time.Millisecond)
+		reg.Scope("q").Gauge("depth").Set(7)
+		stop()
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rec.WriteColumns(&sb, "q.depth")
+	out := sb.String()
+	if !strings.Contains(out, "t_ms") || !strings.Contains(out, "q.depth") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Fatalf("final gauge level missing:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 4 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}
+
+func TestRecorderDefaultInterval(t *testing.T) {
+	k := sim.NewKernel()
+	reg := NewRegistry(k.Now)
+	if got := NewRecorder(reg, 0).Interval(); got != 100*time.Millisecond {
+		t.Fatalf("default interval = %v", got)
+	}
+}

@@ -1,0 +1,320 @@
+package stdfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"lwfs/internal/cluster"
+	"lwfs/internal/lwfspfs"
+	"lwfs/internal/portals"
+	"lwfs/internal/sim"
+	"lwfs/internal/stdfs"
+	"lwfs/internal/storage"
+	"lwfs/internal/stripe"
+	"lwfs/internal/trace"
+)
+
+var pfsRetry = portals.RetryPolicy{
+	MaxAttempts: 2,
+	Timeout:     25 * time.Millisecond,
+	Backoff:     time.Millisecond,
+	Jitter:      100 * time.Microsecond,
+}
+
+func testCluster() (*cluster.Cluster, *cluster.LWFS) {
+	spec := cluster.DevCluster()
+	spec.ComputeNodes = 4
+	spec = spec.WithServers(4)
+	cl := cluster.New(spec)
+	cl.RegisterUser("alice", "pa")
+	return cl, cl.DeployLWFS()
+}
+
+func run(t *testing.T, cl *cluster.Cluster) {
+	t.Helper()
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withMount formats a fresh mount and hands the test body a bound facade
+// on a spawned proc.
+func withMount(t *testing.T, opts lwfspfs.Options, body func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS)) {
+	t.Helper()
+	cl, lw := testCluster()
+	c := cl.NewClient(lw, 0)
+	c.SetRetry(pfsRetry, 17)
+	cl.Spawn("app", func(p *sim.Proc) {
+		if err := c.Login(p, "alice", "pa"); err != nil {
+			t.Fatalf("login: %v", err)
+		}
+		pfs, err := lwfspfs.Format(p, c, "/vol", opts)
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		body(p, cl, lw, stdfs.New(p, pfs))
+	})
+	run(t, cl)
+}
+
+func write(t *testing.T, x *stdfs.FS, name string, data []byte) {
+	t.Helper()
+	f, err := x.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+// The facade passes the standard library's own conformance suite against a
+// live simulated mount: every fs.FS contract — Open semantics, ReadDir
+// ordering and paging, Stat agreement, path validation — checked by the
+// same harness that checks os.DirFS.
+func TestFSTestConformance(t *testing.T) {
+	withMount(t, lwfspfs.Options{}, func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS) {
+		if err := x.Mkdir("data"); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Mkdir("data/sub"); err != nil {
+			t.Fatal(err)
+		}
+		write(t, x, "hello.txt", []byte("hello, simulated world\n"))
+		write(t, x, "data/a.bin", bytes.Repeat([]byte{0xab}, 1000))
+		write(t, x, "data/sub/deep.bin", []byte("nested"))
+		if err := fstest.TestFS(x, "hello.txt", "data/a.bin", "data/sub/deep.bin"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestWalkDirAndStat(t *testing.T) {
+	withMount(t, lwfspfs.Options{}, func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS) {
+		if err := x.Mkdir("logs"); err != nil {
+			t.Fatal(err)
+		}
+		write(t, x, "logs/one.log", make([]byte, 111))
+		write(t, x, "logs/two.log", make([]byte, 222))
+		write(t, x, "top.txt", make([]byte, 7))
+
+		var visited []string
+		err := fs.WalkDir(x, ".", func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			visited = append(visited, path)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		want := []string{".", "logs", "logs/one.log", "logs/two.log", "top.txt"}
+		if len(visited) != len(want) {
+			t.Fatalf("walk visited %v, want %v", visited, want)
+		}
+		for i := range want {
+			if visited[i] != want[i] {
+				t.Fatalf("walk visited %v, want %v", visited, want)
+			}
+		}
+
+		info, err := fs.Stat(x, "logs/two.log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != 222 || info.IsDir() || info.Mode() != 0o644 {
+			t.Fatalf("stat = %v", info)
+		}
+		if _, err := fs.Stat(x, "missing.txt"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("missing stat err = %v, want ErrNotExist", err)
+		}
+		// The superblock stays invisible no matter how it is reached.
+		if _, err := x.Open(".lwfspfs"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("superblock open err = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+// Stock io plumbing moves data across a striped file: io.Copy pulls from
+// an io.SectionReader over a multi-server layout and the bytes survive.
+func TestSectionReaderCopyOverStripes(t *testing.T) {
+	withMount(t, lwfspfs.Options{StripeUnit: 64 << 10},
+		func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS) {
+			data := make([]byte, 256<<10) // 4 stripe units, all 4 servers
+			rand.New(rand.NewSource(5)).Read(data)
+			write(t, x, "wide.bin", data)
+
+			f, err := x.OpenFile("wide.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+
+			// A section spanning stripe boundaries, copied with io.Copy.
+			const off, n = 60_000, 150_000
+			var buf bytes.Buffer
+			if _, err := io.Copy(&buf, io.NewSectionReader(f, off, n)); err != nil {
+				t.Fatalf("copy: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data[off:off+n]) {
+				t.Fatal("section copy mismatch")
+			}
+
+			// And back out through the seeker side: Seek + Read from EOF-64.
+			if _, err := f.Seek(-64, io.SeekEnd); err != nil {
+				t.Fatal(err)
+			}
+			tail := make([]byte, 64)
+			if _, err := io.ReadFull(f, tail); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tail, data[len(data)-64:]) {
+				t.Fatal("tail read mismatch")
+			}
+
+			got, err := fs.ReadFile(x, "wide.bin")
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("fs.ReadFile mismatch: %v", err)
+			}
+		})
+}
+
+// fs.ReadFile through the facade survives a storage-server crash on a
+// replicated layout: the degraded read happens below the standard
+// interface, invisibly to the caller.
+func TestReadFileDegraded(t *testing.T) {
+	withMount(t, lwfspfs.Options{StripeUnit: 64 << 10, Scheme: stripe.Replica, Copies: 2},
+		func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS) {
+			data := make([]byte, 300_000)
+			rand.New(rand.NewSource(11)).Read(data)
+			f, err := x.Create("red.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			layout := f.Handle().Layout()
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			dead := storage.TargetOf(layout.Objs[1])
+			for _, srv := range lw.Servers {
+				if (storage.Target{Node: srv.Node(), Port: srv.RPCPort()}) == dead {
+					srv.Crash()
+				}
+			}
+
+			got, err := fs.ReadFile(x, "red.bin")
+			if err != nil {
+				t.Fatalf("degraded ReadFile: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("degraded ReadFile mismatch")
+			}
+		})
+}
+
+// A recording facade emits a well-formed trace whose events mirror the
+// operations performed — the capture side of the record/replay loop.
+func TestRecorderIntegration(t *testing.T) {
+	withMount(t, lwfspfs.Options{}, func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS) {
+		rec := trace.NewRecorder()
+		x.Record(rec)
+		if err := x.Mkdir("out"); err != nil {
+			t.Fatal(err)
+		}
+		f, err := x.Create("out/run.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := []byte("recorded payload bytes")
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteSynthetic(1<<20, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		rb := make([]byte, len(payload))
+		if _, err := f.ReadAt(rb, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		tr := rec.Trace()
+		wantOps := []trace.Op{trace.OpMkdir, trace.OpCreate, trace.OpWrite,
+			trace.OpWrite, trace.OpSync, trace.OpRead, trace.OpClose}
+		if len(tr.Events) != len(wantOps) {
+			t.Fatalf("recorded %d events, want %d: %+v", len(tr.Events), len(wantOps), tr.Events)
+		}
+		for i, op := range wantOps {
+			if tr.Events[i].Op != op {
+				t.Fatalf("event %d = %v, want %v", i, tr.Events[i].Op, op)
+			}
+		}
+		if seed := tr.Events[2].Seed; seed == 0 || seed != trace.SeedOf(payload) {
+			t.Fatalf("real write recorded seed %d", seed)
+		}
+		if tr.Events[3].Seed != 0 || tr.Events[3].Off != 1<<20 {
+			t.Fatalf("synthetic write event = %+v", tr.Events[3])
+		}
+		// The capture encodes and decodes clean — it is a valid trace file.
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trace.Decode(&buf); err != nil {
+			t.Fatalf("captured trace does not round-trip: %v", err)
+		}
+
+		// A fork shares the recorder under a fresh stream id.
+		fork := x.Fork(p)
+		if err := fork.Mkdir("out2"); err != nil {
+			t.Fatal(err)
+		}
+		evs := rec.Trace().Events
+		last := evs[len(evs)-1]
+		if last.Op != trace.OpMkdir || last.Stream == tr.Events[0].Stream {
+			t.Fatalf("fork event = %+v, want fresh stream", last)
+		}
+	})
+}
+
+func TestWriteGuards(t *testing.T) {
+	withMount(t, lwfspfs.Options{}, func(p *sim.Proc, cl *cluster.Cluster, lw *cluster.LWFS, x *stdfs.FS) {
+		write(t, x, "guarded.bin", []byte("abc"))
+		// fs.FS Open yields a read-only handle.
+		h, err := x.Open("guarded.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.(*stdfs.File).WriteAt([]byte("x"), 0); err == nil {
+			t.Fatal("write through read-only handle succeeded")
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(); !errors.Is(err, fs.ErrClosed) {
+			t.Fatalf("double close err = %v", err)
+		}
+		if _, err := x.Open("../escape"); !errors.Is(err, fs.ErrInvalid) {
+			t.Fatalf("invalid name err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The example workload traces, captured by running the instrumented
+// scientific examples with their -trace flag:
+//
+//	go run ./examples/jacobi  -trace internal/trace/testdata/jacobi.trace
+//	go run ./examples/seismic -trace internal/trace/testdata/seismic.trace
+//	go run ./examples/climate -trace internal/trace/testdata/climate.trace
+//
+// The simulation is deterministic, so regenerating them is byte-stable.
+//
+//go:embed testdata/jacobi.trace testdata/seismic.trace testdata/climate.trace
+var exampleFS embed.FS
+
+// ExampleNames lists the embedded example traces ("jacobi", "seismic",
+// "climate"), sorted.
+func ExampleNames() []string {
+	ents, err := exampleFS.ReadDir("testdata")
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, strings.TrimSuffix(e.Name(), ".trace"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Example decodes an embedded example trace by name.
+func Example(name string) (*Trace, error) {
+	data, err := exampleFS.ReadFile("testdata/" + name + ".trace")
+	if err != nil {
+		return nil, fmt.Errorf("trace: no example %q (have %v)", name, ExampleNames())
+	}
+	return Decode(bytes.NewReader(data))
+}

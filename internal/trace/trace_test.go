@@ -1,0 +1,310 @@
+package trace_test
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lwfs/internal/sim"
+	"lwfs/internal/trace"
+)
+
+// goldenTrace is a fixed event sequence exercising every op, both seed
+// kinds, and multi-stream provenance. Its encoding is pinned byte-exactly
+// by testdata/golden.trace: the wire format is an interchange contract —
+// traces recorded by one build must replay on another — so any change here
+// is a format version bump, not an edit.
+func goldenTrace() *trace.Trace {
+	return &trace.Trace{Events: []trace.Event{
+		{T: 0, Stream: 0, Op: trace.OpMkdir, Path: "/data"},
+		{T: 1500, Stream: 0, Op: trace.OpCreate, Path: "/data/a.bin"},
+		{T: 2000, Stream: 0, Op: trace.OpWrite, Path: "/data/a.bin", Off: 0, Len: 4096, Seed: 0xdeadbeef},
+		{T: 2500, Stream: 1, Op: trace.OpOpen, Path: "/data/b.bin"},
+		{T: 3000, Stream: 1, Op: trace.OpRead, Path: "/data/b.bin", Off: 8192, Len: 1024},
+		{T: 3500, Stream: 0, Op: trace.OpWrite, Path: "/data/a.bin", Off: 4096, Len: 65536},
+		{T: 4000, Stream: 0, Op: trace.OpSync, Path: "/data/a.bin"},
+		{T: 4500, Stream: 1, Op: trace.OpClose, Path: "/data/b.bin"},
+		{T: 5000, Stream: 0, Op: trace.OpClose, Path: "/data/a.bin"},
+		{T: 5500, Stream: 0, Op: trace.OpRemove, Path: "/data/b.bin"},
+	}}
+}
+
+func TestWireFormatGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := goldenTrace().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("wire format drifted from testdata/golden.trace:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	dec, err := trace.Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, goldenTrace()) {
+		t.Fatalf("golden decode mismatch: %+v", dec.Events)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := goldenTrace()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got.Events, tr.Events)
+	}
+	if s := tr.Streams(); s != 2 {
+		t.Fatalf("streams = %d, want 2", s)
+	}
+	if p := tr.Payload(); p != 4096+1024+65536 {
+		t.Fatalf("payload = %d", p)
+	}
+	if d := tr.Span(); d != 5500*time.Nanosecond {
+		t.Fatalf("span = %v", d)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":       "",
+		"bad header":  "lwfstrace v9\nevents 0\n",
+		"bad count":   "lwfstrace v1\nevents x\n",
+		"short":       "lwfstrace v1\nevents 2\n0 0 1 /a 0 0 0\n",
+		"bad fields":  "lwfstrace v1\nevents 1\n0 0 1 /a 0 0\n",
+		"bad op":      "lwfstrace v1\nevents 1\n0 0 99 /a 0 0 0\n",
+		"bad path":    "lwfstrace v1\nevents 1\n0 0 1 a 0 0 0\n",
+		"extra event": "lwfstrace v1\nevents 0\n0 0 1 /a 0 0 0\n",
+	} {
+		if _, err := trace.Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestSeedOfAndDataFor(t *testing.T) {
+	data := []byte("the quick brown fox")
+	seed := trace.SeedOf(data)
+	if seed == 0 {
+		t.Fatal("SeedOf returned the synthetic sentinel for real bytes")
+	}
+	if trace.SeedOf(data) != seed {
+		t.Fatal("SeedOf not deterministic")
+	}
+	if trace.SeedOf([]byte("other")) == seed {
+		t.Fatal("distinct contents hashed alike")
+	}
+	out := trace.DataFor(seed, 1024)
+	if len(out) != 1024 {
+		t.Fatalf("DataFor length = %d", len(out))
+	}
+	if !bytes.Equal(out, trace.DataFor(seed, 1024)) {
+		t.Fatal("DataFor not deterministic")
+	}
+	if bytes.Equal(out[:64], trace.DataFor(seed+1, 64)) {
+		t.Fatal("different seeds expanded alike")
+	}
+	if trace.DataFor(0, 64) != nil {
+		t.Fatal("seed 0 must stay synthetic (nil data)")
+	}
+}
+
+func TestRecorderStreamsAndValidation(t *testing.T) {
+	rec := trace.NewRecorder()
+	if s0, s1 := rec.NewStream(), rec.NewStream(); s0 == s1 {
+		t.Fatalf("NewStream repeated id %d", s0)
+	}
+	rec.Add(trace.Event{T: 10, Op: trace.OpCreate, Path: "/x"})
+	rec.Add(trace.Event{T: 20, Op: trace.OpWrite, Path: "/x", Len: 8, Seed: 7})
+	if rec.Len() != 2 {
+		t.Fatalf("len = %d", rec.Len())
+	}
+	tr := rec.Trace()
+	if len(tr.Events) != 2 || tr.Events[1].Seed != 7 {
+		t.Fatalf("trace = %+v", tr.Events)
+	}
+	for _, bad := range []trace.Event{
+		{Op: trace.OpCreate, Path: "relative"},
+		{Op: trace.Op(42), Path: "/x"},
+		{Op: trace.OpWrite, Path: "/bad\npath"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%+v) did not panic", bad)
+				}
+			}()
+			rec.Add(bad)
+		}()
+	}
+}
+
+// The embedded example traces are real recordings of the instrumented
+// example programs; they must decode, be non-trivial, and carry the ops
+// their workloads are made of.
+func TestEmbeddedExamples(t *testing.T) {
+	names := trace.ExampleNames()
+	if !reflect.DeepEqual(names, []string{"climate", "jacobi", "seismic"}) {
+		t.Fatalf("examples = %v", names)
+	}
+	wantOps := map[string]trace.Op{"climate": trace.OpWrite, "jacobi": trace.OpSync, "seismic": trace.OpRead}
+	for _, name := range names {
+		tr, err := trace.Example(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Events) < 20 {
+			t.Fatalf("%s: only %d events", name, len(tr.Events))
+		}
+		if tr.Payload() == 0 {
+			t.Fatalf("%s: no payload bytes", name)
+		}
+		found := false
+		for _, ev := range tr.Events {
+			if ev.Op == wantOps[name] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no %v op recorded", name, wantOps[name])
+		}
+	}
+	if _, err := trace.Example("nope"); err == nil {
+		t.Fatal("unknown example did not error")
+	}
+}
+
+// fakeMount is an in-memory replay target for replayer-semantics tests.
+type fakeMount struct {
+	t    *testing.T
+	dirs []string
+	log  []string
+	open int // currently open handles
+}
+
+type fakeFile struct {
+	m    *fakeMount
+	name string
+	done bool
+}
+
+func (m *fakeMount) Mkdir(name string) error { m.dirs = append(m.dirs, name); return nil }
+func (m *fakeMount) Remove(name string) error {
+	m.log = append(m.log, "rm "+name)
+	return nil
+}
+func (m *fakeMount) Create(name string) (trace.File, error) {
+	m.open++
+	m.log = append(m.log, "create "+name)
+	return &fakeFile{m: m, name: name}, nil
+}
+func (m *fakeMount) OpenFile(name string) (trace.File, error) {
+	m.open++
+	m.log = append(m.log, "open "+name)
+	return &fakeFile{m: m, name: name}, nil
+}
+
+func (f *fakeFile) WriteSeeded(off, length int64, seed uint64) (int64, error) {
+	f.m.log = append(f.m.log, "seeded "+f.name)
+	return length, nil
+}
+func (f *fakeFile) WriteSynthetic(off, length int64) (int64, error) {
+	f.m.log = append(f.m.log, "synthetic "+f.name)
+	return length, nil
+}
+func (f *fakeFile) ReadDiscard(off, length int64) (int64, error) {
+	f.m.log = append(f.m.log, "read "+f.name)
+	return length, nil
+}
+func (f *fakeFile) Sync() error { return nil }
+func (f *fakeFile) Close() error {
+	if f.done {
+		f.m.t.Error("double close")
+	}
+	f.done = true
+	f.m.open--
+	return nil
+}
+
+func TestReplaySemantics(t *testing.T) {
+	tr := goldenTrace()
+	k := sim.NewKernel()
+	m := &fakeMount{t: t}
+	res := trace.StartReplay(k, tr, func(*sim.Proc) (trace.Mount, error) { return m, nil }, trace.Options{
+		Concurrency: 1, Clones: 2,
+	})
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2*len(tr.Events) {
+		t.Fatalf("ops = %d, want %d", res.Ops, 2*len(tr.Events))
+	}
+	if want := 2 * int64(tr.Payload()); res.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, want)
+	}
+	if m.open != 0 {
+		t.Fatalf("%d handles leaked", m.open)
+	}
+	// Clone roots, then every path under its clone's prefix.
+	if !reflect.DeepEqual(m.dirs, []string{"r0", "r0/data", "r1", "r1/data"}) {
+		t.Fatalf("dirs = %v", m.dirs)
+	}
+	for _, entry := range m.log {
+		if !strings.Contains(entry, " r0/") && !strings.Contains(entry, " r1/") {
+			t.Fatalf("op outside clone prefix: %q", entry)
+		}
+	}
+	// The seeded write and the synthetic write both happened, per clone.
+	counts := map[string]int{}
+	for _, entry := range m.log {
+		counts[strings.Fields(entry)[0]]++
+	}
+	if counts["seeded"] != 2 || counts["synthetic"] != 2 || counts["read"] != 2 || counts["rm"] != 2 {
+		t.Fatalf("op counts = %v", counts)
+	}
+}
+
+func TestReplayPacingStretchesTimeline(t *testing.T) {
+	tr := goldenTrace() // spans 5.5us of recorded virtual time
+	elapsed := func(scale float64, pace bool) time.Duration {
+		k := sim.NewKernel()
+		m := &fakeMount{t: t}
+		res := trace.StartReplay(k, tr, func(*sim.Proc) (trace.Mount, error) { return m, nil },
+			trace.Options{Pace: pace, Scale: scale})
+		if err := k.Run(sim.MaxTime); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed()
+	}
+	fast := elapsed(1, false)
+	paced := elapsed(1, true)
+	half := elapsed(2, true)
+	if paced < tr.Span() {
+		t.Fatalf("paced replay %v shorter than recorded span %v", paced, tr.Span())
+	}
+	if fast >= paced {
+		t.Fatalf("unpaced %v not faster than paced %v", fast, paced)
+	}
+	if half >= paced {
+		t.Fatalf("scale-2 replay %v not faster than scale-1 %v", half, paced)
+	}
+}
